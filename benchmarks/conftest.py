@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_eN_*.py`` regenerates one experiment from DESIGN.md's
+index: it times a representative kernel with pytest-benchmark, runs the
+full experiment sweep once, asserts the paper's qualitative shape, and
+writes the rendered result table to ``benchmarks/results/EN.txt``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_echo(table, directory):
+    """Save an ExperimentTable and echo it to stdout (visible with -s or
+    on failure)."""
+    path = table.save(directory)
+    print()
+    print(table.render())
+    return path

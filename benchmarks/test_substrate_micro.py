@@ -1,0 +1,87 @@
+"""Micro-benchmarks for the substrate layers.
+
+Not tied to a paper claim — these track the throughput of the primitives
+everything else is built on (bit I/O, variable-length codes, combinadic
+subset ranking, Huffman, exact tree analysis), so performance regressions
+in the substrate are caught where they originate.
+"""
+
+import itertools
+import random
+
+from repro.coding import (
+    BitReader,
+    HuffmanCode,
+    decode_elias_delta,
+    encode_elias_delta,
+    encode_subset,
+    subset_rank,
+    subset_unrank,
+)
+from repro.core import external_information_cost, run_protocol
+from repro.information import DiscreteDistribution
+from repro.protocols import OptimalDisjointnessProtocol, SequentialAndProtocol
+
+
+def test_elias_delta_roundtrip_throughput(benchmark):
+    values = [random.Random(0).randrange(1, 1 << 30) for _ in range(200)]
+
+    def roundtrip():
+        for v in values:
+            reader = BitReader(encode_elias_delta(v))
+            assert decode_elias_delta(reader) == v
+
+    benchmark(roundtrip)
+
+
+def test_subset_rank_unrank_throughput(benchmark):
+    rng = random.Random(1)
+    n, m = 1024, 64
+    subset = sorted(rng.sample(range(n), m))
+
+    def roundtrip():
+        rank = subset_rank(subset, n)
+        assert subset_unrank(rank, n, m) == subset
+
+    benchmark(roundtrip)
+
+
+def test_subset_encode_large(benchmark):
+    rng = random.Random(2)
+    n, m = 4096, 256
+    subset = sorted(rng.sample(range(n), m))
+    benchmark(encode_subset, subset, n)
+
+
+def test_huffman_encode_decode(benchmark):
+    rng = random.Random(3)
+    dist = DiscreteDistribution(
+        {i: rng.random() + 0.01 for i in range(64)}, normalize=True
+    )
+    code = HuffmanCode.from_distribution(dist)
+    symbols = dist.sample_many(rng, 500)
+
+    def roundtrip():
+        assert code.decode(code.encode(symbols), len(symbols)) == symbols
+
+    benchmark(roundtrip)
+
+
+def test_optimal_protocol_large_instance(benchmark):
+    n, k = 4096, 16
+    full = (1 << n) - 1
+    inputs = tuple(
+        full ^ sum(1 << j for j in range(i, n, k)) for i in range(k)
+    )
+    protocol = OptimalDisjointnessProtocol(n, k)
+    run = benchmark(lambda: run_protocol(protocol, inputs))
+    assert run.output == 1
+
+
+def test_exact_information_cost_k8(benchmark):
+    protocol = SequentialAndProtocol(8)
+    mu = DiscreteDistribution.uniform(
+        list(itertools.product((0, 1), repeat=8))
+    )
+    value = benchmark(external_information_cost, protocol, mu)
+    assert value > 1.0

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Anatomy of a transcript: the inspection tooling on paper objects.
+
+Three views of the sequential AND protocol that together retrace the
+Section 4 analysis visually:
+
+  1. the full protocol tree (who speaks when, which inputs reach where);
+  2. one annotated transcript — the Lemma 3 factors q_(i,b), the alpha
+     coefficients, and the external observer's posterior after each
+     message ("the transcript points at the player that wrote the 0");
+  3. the per-round information profile — the Section 6 chain rule as a
+     bar chart, summing exactly to IC.
+
+Run:  python examples/anatomy_of_a_transcript.py
+"""
+
+import itertools
+
+from repro.core import (
+    annotate_transcript,
+    external_information_cost,
+    render_information_profile,
+    render_protocol_tree,
+    transcript_distribution,
+)
+from repro.information import DiscreteDistribution
+from repro.lowerbounds import and_hard_input_marginal
+from repro.protocols import SequentialAndProtocol
+
+
+def main() -> None:
+    k = 4
+    protocol = SequentialAndProtocol(k)
+    domain = list(itertools.product((0, 1), repeat=k))
+
+    print(f"== 1. protocol tree (sequential AND, k = {k}) ==\n")
+    print(render_protocol_tree(protocol, domain))
+
+    print("\n== 2. one transcript, annotated ==\n")
+    inputs = (1, 1, 0, 1)
+    transcript = transcript_distribution(protocol, inputs).support()[0]
+    mu = and_hard_input_marginal(k)
+    print(f"input: {inputs} (drawn from the Section 4 hard marginal)")
+    print(annotate_transcript(protocol, transcript, input_dist=mu))
+    print("\nplayer 2's alpha is infinite: the transcript points at it "
+          "with posterior 1 —\nunder the hard distribution its prior was "
+          f"only 1/k = {1 / k}; that surprise is the\nOmega(log k) "
+          "information of Theorem 1.")
+
+    print("\n== 3. per-round information profile ==\n")
+    uniform = DiscreteDistribution.uniform(domain)
+    print("under uniform inputs:")
+    print(render_information_profile(protocol, uniform))
+    print("\nunder the hard marginal:")
+    print(render_information_profile(protocol, mu))
+    print(f"\n(IC under hard marginal = "
+          f"{external_information_cost(protocol, mu):.4f} bits)")
+
+
+if __name__ == "__main__":
+    main()

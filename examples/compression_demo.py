@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Interactive compression in the broadcast model (Section 6).
+
+Three acts:
+
+1. *Lemma 7 in miniature*: simulate one message with the dart-throwing
+   protocol — the speaker knows the true message distribution η, everyone
+   knows the prior ν, and the message costs about D(η‖ν) bits.
+2. *One-shot compression* of a noisy AND protocol: per-round divergences
+   sum to the information cost, but the per-round overhead means a single
+   instance cannot be compressed to its information cost.
+3. *Amortized compression* (Theorem 3): running n independent instances
+   round-synchronously and compressing each speaker's bundle with one
+   sampling round drives the per-copy cost down to the information cost.
+
+Run:  python examples/compression_demo.py
+"""
+
+import random
+
+from repro.compression import (
+    compress_execution,
+    compress_parallel_copies,
+    run_naive_dart_protocol,
+)
+from repro.core import external_information_cost
+from repro.information import DiscreteDistribution, kl_divergence
+from repro.lowerbounds import and_hard_input_marginal
+from repro.protocols import NoisySequentialAndProtocol, SequentialAndProtocol
+
+
+def act_one_lemma7(rng: random.Random) -> None:
+    print("== Act 1: the Lemma 7 sampling protocol ==\n")
+    eta = DiscreteDistribution({"ack": 0.9, "nak": 0.05, "retry": 0.05})
+    nu = DiscreteDistribution({"ack": 0.2, "nak": 0.4, "retry": 0.4})
+    divergence = kl_divergence(eta, nu)
+    print(f"speaker's true distribution eta: {dict(eta.items())}")
+    print(f"shared prior nu:                 {dict(nu.items())}")
+    print(f"D(eta || nu) = {divergence:.3f} bits\n")
+    trials = 2000
+    total_bits = 0
+    for _ in range(trials):
+        result = run_naive_dart_protocol(
+            eta, nu, rng, ["ack", "nak", "retry"]
+        )
+        assert result.agreed  # receivers decode the exact sample
+        total_bits += result.message.cost.total_bits
+    print(f"mean communication over {trials} runs: "
+          f"{total_bits / trials:.2f} bits "
+          f"(= D + O(log D) overhead; receivers always correct)\n")
+
+
+def act_two_one_shot(rng: random.Random) -> None:
+    print("== Act 2: one-shot compression (and why it can't win) ==\n")
+    k = 5
+    protocol = NoisySequentialAndProtocol(k, 0.1)
+    mu = and_hard_input_marginal(k)
+    ic = external_information_cost(protocol, mu)
+    trials = 300
+    bits = divergence = 0.0
+    for _ in range(trials):
+        inputs = mu.sample(rng)
+        execution = compress_execution(protocol, mu, inputs, rng)
+        bits += execution.compressed_bits
+        divergence += execution.total_divergence
+    print(f"noisy AND_{k}: IC = {ic:.3f} bits, "
+          f"uncompressed communication = {k} bits")
+    print(f"mean realized divergence  = {divergence / trials:.3f} "
+          f"(matches IC — the chain rule)")
+    print(f"mean compressed bits      = {bits / trials:.2f}")
+    print("one-shot 'compression' EXPANDS this protocol: the per-round "
+          "overhead dwarfs the\nper-round information — exactly the "
+          "Section 6 moral that k-party protocols cannot\nbe compressed "
+          "to their external information cost.\n")
+
+
+def act_three_amortized(rng: random.Random) -> None:
+    print("== Act 3: amortized compression (Theorem 3) ==\n")
+    k = 4
+    protocol = SequentialAndProtocol(k)
+    mu = and_hard_input_marginal(k)
+    ic = external_information_cost(protocol, mu)
+    print(f"sequential AND_{k} under the hard-distribution marginal: "
+          f"IC = {ic:.3f} bits\n")
+    print(f"{'copies':>7} {'bits/copy':>10} {'excess over IC':>15}")
+    for copies in (1, 4, 16, 64, 256):
+        reps = max(1, 256 // copies)
+        per_copy = sum(
+            compress_parallel_copies(protocol, mu, copies, rng).per_copy_bits
+            for _ in range(reps)
+        ) / reps
+        print(f"{copies:>7} {per_copy:>10.3f} {per_copy - ic:>15.3f}")
+    print("\nper-copy cost converges to the information cost as the "
+          "number of copies grows\n(Theorem 3); for product "
+          "distributions this is exactly tight (Theorem 4).")
+
+
+def main() -> None:
+    rng = random.Random(2767425)  # the paper's DOI suffix
+    act_one_lemma7(rng)
+    act_two_one_shot(rng)
+    act_three_amortized(rng)
+
+
+if __name__ == "__main__":
+    main()

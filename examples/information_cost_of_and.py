@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The information-complexity view of AND_k (Sections 4 and 6).
+
+This example walks through the paper's central object — the one-bit
+AND_k function — from both sides:
+
+1. *Lower bound machinery* (Section 4): builds the hard distribution μ,
+   computes the exact conditional information cost I(Π; X | Z) of the
+   sequential AND protocol, and shows the transcript "pointing" at a
+   zero-holder (Lemmas 3–4: the α coefficients and posteriors).
+2. *The gap* (Section 6): the same protocol's external information cost
+   stays below log2(k+1) under every distribution while its worst-case
+   communication is k — so single-shot compression to the information
+   cost is impossible in the broadcast model.
+
+Run:  python examples/information_cost_of_and.py
+"""
+
+import math
+
+from repro.core import (
+    conditional_information_cost,
+    run_protocol,
+    transcript_distribution,
+)
+from repro.lowerbounds import (
+    and_hard_distribution,
+    posterior_zero_given_not_special,
+    transcript_factors,
+)
+from repro.compression import and_gap_report
+from repro.protocols import SequentialAndProtocol
+
+
+def lower_bound_walkthrough(k: int) -> None:
+    print(f"== Section 4 walkthrough, k = {k} ==\n")
+    mu = and_hard_distribution(k)
+    protocol = SequentialAndProtocol(k)
+
+    cic = conditional_information_cost(protocol, mu)
+    print(f"hard distribution mu: Z uniform, X_Z = 0, others 0 w.p. 1/k")
+    print(f"CIC_mu(sequential AND) = {cic:.4f} bits "
+          f"(log2 k = {math.log2(k):.4f})\n")
+
+    # A two-zero input, as in the paper's analysis: the transcript must
+    # point at a player that received 0.
+    inputs = tuple(0 if i in (1, 3) else 1 for i in range(k))
+    transcript = transcript_distribution(protocol, inputs).support()[0]
+    factors = transcript_factors(protocol, transcript, [[0, 1]] * k)
+    print(f"input with two zeros: {inputs}")
+    print(f"transcript: {transcript.bit_string()!r} "
+          f"(stops at the first zero)")
+    for i in range(k):
+        alpha = factors.alpha(i)
+        posterior = posterior_zero_given_not_special(alpha, k)
+        label = "POINTED AT" if posterior > 0.5 else ""
+        alpha_str = "inf" if math.isinf(alpha) else f"{alpha:.2f}"
+        print(f"  player {i}: alpha = {alpha_str:>5}, "
+              f"Pr[X_i = 0 | transcript, Z != i] = {posterior:.3f} {label}")
+    print()
+    print("the pointed-at player had prior Pr[X_i = 0] = 1/k = "
+          f"{1 / k:.3f}; raising it to a constant is worth ~log2 k bits —")
+    print("summed over n coordinates this is the Omega(n log k) "
+          "disjointness bound.\n")
+
+
+def gap_walkthrough(k: int) -> None:
+    print(f"== Section 6 gap, k = {k} ==\n")
+    report = and_gap_report(k)
+    print(f"external information cost of the sequential AND protocol:")
+    for name, ic in sorted(report.information_costs.items()):
+        print(f"  under {name:<14}: {ic:.4f} bits")
+    print(f"  (all below the entropy bound log2(k+1) = "
+          f"{report.entropy_bound:.4f})")
+    print(f"worst-case communication: {report.worst_case_communication} "
+          f"bits (all-ones input: everyone must speak)")
+    print(f"gap CC / IC = {report.gap_ratio:.2f}  "
+          f"[k / log2(k+1) = {k / math.log2(k + 1):.2f}]\n")
+    print("two players can always compress to ~external information "
+          "[BBCR'13];")
+    print("this gap shows k players cannot — Theorem 3's amortization "
+          "is the best one can do.\n")
+
+
+def main() -> None:
+    k = 8
+    lower_bound_walkthrough(k)
+    gap_walkthrough(k)
+
+    # Sanity: the protocol really is a correct AND protocol.
+    protocol = SequentialAndProtocol(k)
+    assert run_protocol(protocol, tuple([1] * k)).output == 1
+    assert run_protocol(protocol, tuple([1] * (k - 1) + [0])).output == 0
+    print("(sequential AND protocol verified correct on both outputs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's optimal disjointness protocol and measure
+its communication against the naive and trivial baselines.
+
+The setting (Section 1 of the paper): k players each hold a subset of
+[n]; they share a blackboard and must decide whether the sets have a
+common element.  The Section 5 protocol solves this deterministically in
+O(n log k + k) bits — optimal by the paper's lower bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+import random
+
+from repro.core import disjointness_task, run_protocol, set_to_mask
+from repro.protocols import (
+    NaiveDisjointnessProtocol,
+    OptimalDisjointnessProtocol,
+    TrivialDisjointnessProtocol,
+)
+
+
+def main() -> None:
+    n, k = 1024, 8
+    rng = random.Random(2015)
+
+    # A hard "disjoint" instance: each player is missing exactly the
+    # coordinates congruent to its index mod k, so every coordinate must
+    # be announced before anyone can be sure the intersection is empty.
+    full = (1 << n) - 1
+    inputs = []
+    for i in range(k):
+        zeros = set(range(i, n, k))
+        inputs.append(full ^ set_to_mask(zeros, n))
+    inputs = tuple(inputs)
+
+    task = disjointness_task(n, k)
+    print(f"DISJ_(n={n}, k={k}); correct answer: "
+          f"{'disjoint' if task.evaluate(inputs) else 'intersecting'}\n")
+
+    protocols = [
+        ("optimal (Section 5)", OptimalDisjointnessProtocol(n, k)),
+        ("naive   (intro)    ", NaiveDisjointnessProtocol(n, k)),
+        ("trivial (broadcast)", TrivialDisjointnessProtocol(n, k)),
+    ]
+    print(f"{'protocol':<22} {'bits':>8} {'rounds':>7}   reference")
+    for name, protocol in protocols:
+        run = run_protocol(protocol, inputs)
+        assert run.output == task.evaluate(inputs)
+        if "optimal" in name:
+            reference = f"n·lg(ek)+k = {n * math.log2(math.e * k) + k:.0f}"
+        elif "naive" in name:
+            reference = f"n·lg(n)+k  = {n * math.log2(n) + k:.0f}"
+        else:
+            reference = f"n·k        = {n * k}"
+        print(f"{name:<22} {run.bits_communicated:>8} {run.rounds:>7}   "
+              f"{reference}")
+
+    # A random non-disjoint instance: the optimal protocol detects the
+    # intersection after an all-pass cycle — only ~k bits.
+    shared = rng.randrange(n)
+    noisy_inputs = tuple(
+        rng.randrange(1 << n) | (1 << shared) for _ in range(k)
+    )
+    run = run_protocol(OptimalDisjointnessProtocol(n, k), noisy_inputs)
+    assert run.output == task.evaluate(noisy_inputs) == 0
+    print(f"\ndense intersecting instance: optimal protocol answered "
+          f"'non-disjoint' in {run.bits_communicated} bits "
+          f"({run.rounds} messages)")
+
+
+if __name__ == "__main__":
+    main()

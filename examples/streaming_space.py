@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Why streaming people care about broadcast disjointness (refs [1, 2, 17]).
+
+The reduction, executed live: a one-pass streaming algorithm that decides
+"does some item occur k times?" in space S turns into a k-player
+blackboard protocol for set disjointness costing (k-1)·S + 1 bits — each
+player streams its set through the algorithm and posts the memory state.
+The paper's Ω(n log k + k) communication bound therefore pushes back
+through the reduction into a space lower bound.
+
+Run:  python examples/streaming_space.py
+"""
+
+import math
+import random
+
+from repro.core import disjointness_task, run_protocol
+from repro.experiments import partition_instance, random_instance
+from repro.streaming import (
+    CappedFrequencyCounter,
+    DistinctElementsBitmap,
+    StreamingSimulationProtocol,
+    run_stream,
+    space_lower_bound,
+)
+
+
+def main() -> None:
+    n, k = 512, 8
+    rng = random.Random(1)
+
+    print(f"universe n = {n}, players k = {k}\n")
+
+    # 1. The streaming algorithm on its own.
+    algorithm = CappedFrequencyCounter(n, cap=k)
+    stream = [rng.randrange(n) for _ in range(200)]
+    result = run_stream(algorithm, stream)
+    print("capped-frequency algorithm on a random stream:")
+    print(f"  space used: {result.max_state_bits} bits "
+          f"(= n · ceil(lg(k+1)) = {n * (k).bit_length()})")
+    print(f"  some item reached frequency {k}: "
+          f"{'yes' if result.output else 'no'}\n")
+
+    # 2. The induced blackboard protocol solves disjointness.
+    protocol = StreamingSimulationProtocol(algorithm, k)
+    task = disjointness_task(n, k)
+    for label, inputs in [
+        ("worst-case disjoint", partition_instance(n, k)),
+        ("random", random_instance(n, k, rng)),
+    ]:
+        run = run_protocol(protocol, inputs)
+        assert run.output == task.evaluate(inputs)
+        print(f"induced protocol on {label} instance: answer "
+              f"{'disjoint' if run.output else 'intersecting'} in "
+              f"{run.bits_communicated} bits "
+              f"(= (k-1)·S + 1 = {(k - 1) * result.max_state_bits + 1})")
+
+    # 3. The lower bound flowing back.
+    bound = space_lower_bound(n, k)
+    print(f"\nCorollary 1 forces space >= {bound:.0f} bits for ANY exact "
+          "one-pass algorithm for this question")
+    print(f"(the exact algorithm uses {result.max_state_bits}; "
+          "no algorithm can go below the bound, no matter how clever)")
+
+    # 4. Contrast: distinct-element counting is 'only' n bits, and the
+    # same reduction explains why it cannot be much less (exactly).
+    f0 = DistinctElementsBitmap(n)
+    f0_run = run_stream(f0, stream)
+    print(f"\ncontrast — exact distinct elements (F_0): "
+          f"{f0_run.output} distinct items seen, {f0_run.max_state_bits} "
+          "bits of state")
+    print("(deciding full coverage is the union problem; the same "
+          "blackboard machinery prices it at Θ(n log k) communication, "
+          "see examples/quickstart.py and benchmark E11)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs); `pip install -e .` uses pyproject.toml when wheel is available."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Bit-level coding substrate: bit I/O, variable-length integer codes,
+combinadic subset encoding (used by the Section 5 protocol), and Huffman
+coding (reference [20])."""
+
+from .bitio import BitReader, BitWriter, Bits, concat_bits
+from .combinatorial import (
+    binomial,
+    decode_subset,
+    encode_subset,
+    subset_code_width,
+    subset_rank,
+    subset_unrank,
+)
+from .huffman import HuffmanCode
+from .varint import (
+    decode_elias_delta,
+    decode_elias_gamma,
+    decode_golomb_rice,
+    decode_signed_elias_gamma,
+    decode_unary,
+    elias_delta_length,
+    elias_gamma_length,
+    encode_elias_delta,
+    encode_elias_gamma,
+    encode_golomb_rice,
+    encode_signed_elias_gamma,
+    encode_unary,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+__all__ = [
+    "Bits",
+    "BitReader",
+    "BitWriter",
+    "concat_bits",
+    "binomial",
+    "subset_rank",
+    "subset_unrank",
+    "subset_code_width",
+    "encode_subset",
+    "decode_subset",
+    "HuffmanCode",
+    "encode_unary",
+    "decode_unary",
+    "encode_elias_gamma",
+    "decode_elias_gamma",
+    "elias_gamma_length",
+    "encode_elias_delta",
+    "decode_elias_delta",
+    "elias_delta_length",
+    "encode_golomb_rice",
+    "decode_golomb_rice",
+    "zigzag_encode",
+    "zigzag_decode",
+    "encode_signed_elias_gamma",
+    "decode_signed_elias_gamma",
+]

@@ -1,0 +1,30 @@
+"""Small integer-bitmask utilities shared across the protocol
+implementations (player inputs are bitmasks over the coordinate
+universe)."""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["bits_of", "popcount"]
+
+
+def bits_of(mask: int) -> List[int]:
+    """The set bit positions of ``mask`` in increasing order."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    out: List[int] = []
+    position = 0
+    while mask:
+        if mask & 1:
+            out.append(position)
+        mask >>= 1
+        position += 1
+    return out
+
+
+def popcount(mask: int) -> int:
+    """The number of set bits of ``mask``."""
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    return bin(mask).count("1")

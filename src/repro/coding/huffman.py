@@ -1,0 +1,128 @@
+"""Huffman coding (reference [20] of the paper).
+
+The paper's framing of single-shot compression starts from Huffman's
+result that one sample of :math:`X` can be transmitted in
+:math:`H(X) + 1` bits.  We implement canonical Huffman codes over a
+:class:`~repro.information.distribution.DiscreteDistribution` and use them
+(a) in tests validating the classical baseline the paper cites, and (b)
+as the one-way-transmission baseline in the compression benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, List, Tuple
+
+from ..information.distribution import DiscreteDistribution
+from .bitio import BitReader, BitWriter, Bits
+
+__all__ = ["HuffmanCode"]
+
+
+class HuffmanCode:
+    """A prefix-free binary code optimal for a given distribution.
+
+    Examples
+    --------
+    >>> dist = DiscreteDistribution({"a": 0.5, "b": 0.25, "c": 0.25})
+    >>> code = HuffmanCode.from_distribution(dist)
+    >>> code.decode_one(BitReader(code.codeword("a")))
+    'a'
+    """
+
+    __slots__ = ("_codewords", "_decoder")
+
+    def __init__(self, codewords: Dict[Hashable, Bits]) -> None:
+        if not codewords:
+            raise ValueError("a Huffman code needs at least one symbol")
+        self._codewords = dict(codewords)
+        self._decoder: Dict[Bits, Hashable] = {}
+        for symbol, word in self._codewords.items():
+            if word in self._decoder:
+                raise ValueError(f"duplicate codeword {word!r}")
+            self._decoder[word] = symbol
+        self._check_prefix_free()
+
+    def _check_prefix_free(self) -> None:
+        words = sorted(self._decoder)
+        for first, second in zip(words, words[1:]):
+            if second.startswith(first):
+                raise ValueError(
+                    f"code is not prefix-free: {first!r} prefixes {second!r}"
+                )
+
+    @classmethod
+    def from_distribution(cls, dist: DiscreteDistribution) -> "HuffmanCode":
+        """Build an optimal prefix code for ``dist`` (ties broken stably)."""
+        symbols = sorted(dist.support(), key=repr)
+        if len(symbols) == 1:
+            # A single symbol still needs one bit to be a valid message.
+            return cls({symbols[0]: "0"})
+        counter = itertools.count()
+        # Heap entries: (probability, tiebreak, tree). Trees are either a
+        # leaf symbol (wrapped) or a (left, right) pair.
+        heap: List[Tuple[float, int, object]] = [
+            (dist[s], next(counter), ("leaf", s)) for s in symbols
+        ]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            p1, _, t1 = heapq.heappop(heap)
+            p2, _, t2 = heapq.heappop(heap)
+            heapq.heappush(heap, (p1 + p2, next(counter), ("node", t1, t2)))
+        _, _, root = heap[0]
+        codewords: Dict[Hashable, Bits] = {}
+
+        def walk(tree: object, prefix: str) -> None:
+            if tree[0] == "leaf":  # type: ignore[index]
+                codewords[tree[1]] = prefix  # type: ignore[index]
+            else:
+                walk(tree[1], prefix + "0")  # type: ignore[index]
+                walk(tree[2], prefix + "1")  # type: ignore[index]
+
+        walk(root, "")
+        return cls(codewords)
+
+    # ------------------------------------------------------------------
+    def codeword(self, symbol: Hashable) -> Bits:
+        """The codeword of ``symbol``."""
+        try:
+            return self._codewords[symbol]
+        except KeyError:
+            raise KeyError(f"symbol {symbol!r} is not in the code") from None
+
+    def symbols(self) -> List[Hashable]:
+        """All symbols of the code."""
+        return list(self._codewords)
+
+    def encode(self, symbols) -> Bits:
+        """Encode a sequence of symbols as a concatenated bit string."""
+        writer = BitWriter()
+        for symbol in symbols:
+            writer.write_bits(self.codeword(symbol))
+        return writer.getvalue()
+
+    def decode_one(self, reader: BitReader) -> Hashable:
+        """Decode a single symbol from ``reader``."""
+        prefix = ""
+        while True:
+            prefix += str(reader.read_bit())
+            if prefix in self._decoder:
+                return self._decoder[prefix]
+            if len(prefix) > max(len(w) for w in self._decoder):
+                raise ValueError(f"invalid codeword prefix {prefix!r}")
+
+    def decode(self, bits: Bits, count: int) -> List[Hashable]:
+        """Decode exactly ``count`` symbols from ``bits``."""
+        reader = BitReader(bits)
+        out = [self.decode_one(reader) for _ in range(count)]
+        reader.expect_exhausted()
+        return out
+
+    def expected_length(self, dist: DiscreteDistribution) -> float:
+        """The expected codeword length under ``dist`` in bits.
+
+        For the code's own distribution this lies in
+        ``[H(X), H(X) + 1)`` — Huffman's theorem, asserted by tests.
+        """
+        return sum(p * len(self.codeword(s)) for s, p in dist.items())

@@ -1,0 +1,502 @@
+"""The Lemma 7 rejection-sampling message simulation (and Figure 1).
+
+Setting: all players know a prior :math:`\\nu` over a message universe
+:math:`U`; the speaking player additionally knows the true message
+distribution :math:`\\eta`.  Using shared randomness — an infinite
+sequence of "darts" :math:`(x_1, p_1), (x_2, p_2), \\ldots` uniform on
+:math:`U \\times [0, 1]` — the speaker communicates a sample
+:math:`X \\sim \\eta` at expected cost
+:math:`D(\\eta \\| \\nu) + O(\\log(D(\\eta \\| \\nu) + 1))` bits:
+
+1. the speaker selects the first dart under the curve of :math:`\\eta`
+   (dart :math:`i`, value :math:`x^*`);
+2. it writes the *block index* :math:`B = \\lceil i / |U| \\rceil`
+   (a geometric variable with constant expectation);
+3. it writes the rounded log-ratio
+   :math:`s = \\lceil \\log_2(\\eta(x^*) / \\nu(x^*)) \\rceil`
+   in a variable-length code (``s`` may be negative — footnote 4);
+4. every player forms the candidate set :math:`P'` — darts of block
+   :math:`B` under the scaled prior :math:`\\min(2^s \\nu, 1)` — and the
+   speaker writes the rank of its dart inside :math:`P'` at fixed width
+   :math:`\\lceil \\log_2 |P'| \\rceil` (all players know :math:`|P'|`
+   from the shared darts, so the width is self-delimiting).
+
+Two implementations:
+
+* :func:`run_naive_dart_protocol` — plays the scheme literally with the
+  shared dart sequence; both the speaker's selection and the receiver's
+  reconstruction are executed, and the test suite checks the receiver is
+  always right and the output is exactly :math:`\\eta`-distributed.
+  Cost: expected :math:`|U|` darts per message, so small universes only.
+
+* :func:`simulate_sampling_round` — samples the *communicated values*
+  ``(B, s, rank, |P'|)`` from their exact joint law without enumerating
+  darts, so the cost simulation is polynomial even when :math:`U` is a
+  product universe of astronomical size (the amortized Theorem 3
+  setting).  The law used:
+
+  - :math:`x^* \\sim \\eta` and the accepted dart index
+    :math:`i \\sim \\mathrm{Geometric}(1/|U|)` are independent;
+  - given block position, the other darts of the block are i.i.d.
+    uniform, conditioned (for darts before :math:`i`) on lying *above*
+    :math:`\\eta`'s curve; membership counts in :math:`P'` are therefore
+    binomial with parameters derived from the three curve masses
+    :math:`A_\\eta = 1`, :math:`A_g = \\sum_x \\min(2^s \\nu(x), 1)`, and
+    :math:`A_{g \\wedge \\eta} = \\sum_x \\min(2^s\\nu(x), 1, \\eta(x))`.
+
+  For enumerable universes the masses are computed exactly and the test
+  suite verifies distributional agreement with the naive path.  For
+  product universes (``exact_masses=False``) the simulator uses the
+  bounds :math:`A_g \\le 2^s` and :math:`A_{g \\wedge \\eta} \\ge 0`,
+  which can only *enlarge* :math:`P'` — the charged communication is an
+  upper bound on the true protocol's, so every convergence result built
+  on it is conservative.  (DESIGN.md records this substitution.)
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..coding.varint import elias_gamma_length, zigzag_encode
+from ..information.distribution import DiscreteDistribution
+
+__all__ = [
+    "SamplingCost",
+    "SampledMessage",
+    "NaiveDartResult",
+    "run_naive_dart_protocol",
+    "simulate_sampling_round",
+    "lemma7_cost_bound",
+    "curve_masses",
+]
+
+
+@dataclass(frozen=True)
+class SamplingCost:
+    """Bit-level breakdown of one simulated message."""
+
+    block_bits: int
+    ratio_bits: int
+    rank_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.block_bits + self.ratio_bits + self.rank_bits
+
+
+@dataclass(frozen=True)
+class SampledMessage:
+    """Result of one Lemma 7 round: the sampled message and its cost."""
+
+    value: Any
+    s: int                 # ⌈log2(η(x*) / ν(x*))⌉
+    block: int             # B = ⌈i / |U|⌉
+    rank: int              # 1-based rank of the dart inside P'
+    candidate_count: int   # |P'|
+    cost: SamplingCost
+
+
+@dataclass(frozen=True)
+class NaiveDartResult:
+    """Result of the literal dart protocol, including the receiver side."""
+
+    message: SampledMessage
+    receiver_value: Any    # what the non-speaking players decode
+    darts_used: int        # index i of the accepted dart
+    failed: bool = False   # block-limit truncation fired (the lemma's ε)
+
+    @property
+    def agreed(self) -> bool:
+        return self.receiver_value == self.message.value
+
+
+def _log_ratio_ceil(eta_x: float, nu_x: float) -> int:
+    """:math:`s = \\lceil \\log_2(\\eta(x)/\\nu(x)) \\rceil`; requires
+    absolute continuity (:math:`\\nu(x) > 0` wherever :math:`\\eta(x) > 0`)."""
+    if eta_x <= 0.0:
+        raise ValueError("the selected point must have positive eta mass")
+    if nu_x <= 0.0:
+        raise ValueError(
+            "prior assigns zero mass to a message the true distribution can "
+            "send; the Lemma 7 scheme needs eta absolutely continuous "
+            "w.r.t. nu"
+        )
+    return math.ceil(math.log2(eta_x / nu_x) - 1e-12)
+
+
+def _rank_width(candidate_count: int) -> int:
+    """Bits to write a rank in ``[1, candidate_count]`` at fixed width
+    (zero bits when the candidate set is a singleton)."""
+    if candidate_count < 1:
+        raise ValueError("candidate set must contain the accepted dart")
+    return (candidate_count - 1).bit_length()
+
+
+def _block_bits(block: int) -> int:
+    return elias_gamma_length(block)
+
+
+def _ratio_bits(s: int) -> int:
+    return elias_gamma_length(zigzag_encode(s) + 1)
+
+
+def lemma7_cost_bound(divergence: float, *, constant: float = 8.0) -> float:
+    """The Lemma 7 guarantee :math:`D + O(\\log(D + 1))` as a concrete
+    curve ``D + 2*log2(D + 2) + constant`` used by tests/benchmarks."""
+    if divergence < 0.0:
+        raise ValueError(f"divergence must be non-negative, got {divergence!r}")
+    return divergence + 2.0 * math.log2(divergence + 2.0) + constant
+
+
+# ----------------------------------------------------------------------
+# Literal dart protocol (small universes).
+# ----------------------------------------------------------------------
+def run_naive_dart_protocol(
+    eta: DiscreteDistribution,
+    nu: DiscreteDistribution,
+    rng: random.Random,
+    universe: Sequence[Any],
+    *,
+    max_darts: int = 10_000_000,
+    block_limit: Optional[int] = None,
+) -> NaiveDartResult:
+    """Play Lemma 7's scheme with an explicit shared dart sequence.
+
+    ``universe`` is the (finite) message domain :math:`U`; it must cover
+    the support of :math:`\\eta`.  Both sides are simulated: the
+    function returns the speaker's selected value *and* the value the
+    receiving players decode from the communicated ``(B, s, rank)``,
+    which must agree (asserted by tests, guaranteed by construction).
+
+    ``block_limit`` implements the lemma's :math:`\\epsilon` truncation:
+    if no dart under :math:`\\eta` appears within ``block_limit`` blocks,
+    the speaker announces an abort (block index ``block_limit + 1``) and
+    the parties disagree — this happens with probability
+    :math:`(1 - 1/|U|)^{t |U|} \\le e^{-t}`, so ``t = ⌈ln(1/ε)⌉`` gives
+    failure probability ε at a worst-case block cost of
+    :math:`O(\\log(1/\\epsilon))` bits.
+    """
+    universe = list(universe)
+    size = len(universe)
+    if size < 1:
+        raise ValueError("universe must be non-empty")
+    if block_limit is not None and block_limit < 1:
+        raise ValueError(f"block_limit must be >= 1, got {block_limit}")
+    support = set(eta.support())
+    if not support.issubset(set(universe)):
+        raise ValueError("universe must cover the support of eta")
+
+    # Generate darts lazily until the speaker accepts one; remember them
+    # all because the block's darts are needed to build P'.
+    darts: List[Tuple[Any, float]] = []
+    accepted_index: Optional[int] = None
+    dart_budget = max_darts
+    if block_limit is not None:
+        dart_budget = min(dart_budget, block_limit * size)
+    while accepted_index is None:
+        if len(darts) >= dart_budget:
+            if block_limit is not None:
+                return _abort_result(eta, rng, block_limit)
+            raise RuntimeError(
+                f"no dart under eta within {max_darts} darts; universe too "
+                "large for the naive path"
+            )
+        x = universe[rng.randrange(size)]
+        p = rng.random()
+        darts.append((x, p))
+        if p < eta[x]:
+            accepted_index = len(darts)  # 1-based, the paper's i
+    x_star, _p_star = darts[accepted_index - 1]
+
+    block = (accepted_index + size - 1) // size
+    s = _log_ratio_ceil(eta[x_star], nu[x_star])
+    # Guard against float round-off in the ceiling: the scheme needs
+    # eta(x*) <= 2^s nu(x*) so that the accepted dart lies in P'.
+    while 2.0**s * nu[x_star] < eta[x_star]:
+        s += 1
+    scale = 2.0**s
+
+    # Extend the shared sequence to the end of the block so that both
+    # sides see the same P'.
+    block_end = block * size
+    while len(darts) < block_end:
+        x = universe[rng.randrange(size)]
+        p = rng.random()
+        darts.append((x, p))
+    block_start = (block - 1) * size  # 0-based slice start
+
+    candidates = [
+        index
+        for index in range(block_start, block_end)
+        if darts[index][1] < min(scale * nu[darts[index][0]], 1.0)
+    ]
+    # The accepted dart is under eta <= 2^s nu at x*, hence a candidate.
+    rank = candidates.index(accepted_index - 1) + 1
+
+    cost = SamplingCost(
+        block_bits=_block_bits(block),
+        ratio_bits=_ratio_bits(s),
+        rank_bits=_rank_width(len(candidates)),
+    )
+    message = SampledMessage(
+        value=x_star,
+        s=s,
+        block=block,
+        rank=rank,
+        candidate_count=len(candidates),
+        cost=cost,
+    )
+    # Receiver side: knows the darts (shared randomness), B, s, rank.
+    receiver_dart = candidates[rank - 1]
+    receiver_value = darts[receiver_dart][0]
+    return NaiveDartResult(
+        message=message,
+        receiver_value=receiver_value,
+        darts_used=accepted_index,
+    )
+
+
+def _abort_result(
+    eta: DiscreteDistribution, rng: random.Random, block_limit: int
+) -> NaiveDartResult:
+    """The truncation-failure outcome: the speaker still holds an
+    η-sample, the receivers decode nothing useful."""
+    value = eta.sample(rng)
+    cost = SamplingCost(
+        block_bits=_block_bits(block_limit + 1),  # the abort signal
+        ratio_bits=0,
+        rank_bits=0,
+    )
+    message = SampledMessage(
+        value=value,
+        s=0,
+        block=block_limit + 1,
+        rank=0,
+        candidate_count=0,
+        cost=cost,
+    )
+    return NaiveDartResult(
+        message=message,
+        receiver_value=None,
+        darts_used=block_limit,
+        failed=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exact-distribution simulation (any universe size).
+# ----------------------------------------------------------------------
+def curve_masses(
+    eta: DiscreteDistribution,
+    nu: DiscreteDistribution,
+    s: int,
+    universe: Sequence[Any],
+) -> Tuple[float, float]:
+    """The curve masses :math:`A_g = \\sum_x \\min(2^s\\nu(x), 1)` and
+    :math:`A_{g \\wedge \\eta} = \\sum_x \\min(2^s\\nu(x), 1, \\eta(x))`
+    over an explicit universe."""
+    scale = 2.0**s
+    a_g = 0.0
+    a_g_eta = 0.0
+    for x in universe:
+        g = min(scale * nu[x], 1.0)
+        a_g += g
+        a_g_eta += min(g, eta[x])
+    return a_g, a_g_eta
+
+
+def simulate_sampling_round(
+    eta: Optional[DiscreteDistribution],
+    nu: Optional[DiscreteDistribution],
+    rng: random.Random,
+    *,
+    universe_size: Optional[int] = None,
+    universe: Optional[Sequence[Any]] = None,
+    log_ratio: Optional[float] = None,
+    value: Optional[Any] = None,
+) -> SampledMessage:
+    """Sample one Lemma 7 round from the exact joint law of everything
+    the speaker communicates, without enumerating darts.
+
+    Parameters
+    ----------
+    eta, nu:
+        True distribution and prior.  For product universes, callers may
+        instead pass ``value`` and ``log_ratio`` directly (see below) and
+        use ``eta``/``nu`` only as per-copy factors.
+    universe:
+        Explicit universe; enables exact curve masses (validated against
+        the naive path).  Mutually exclusive with ``universe_size``.
+    universe_size:
+        Universe cardinality when the universe itself is too large to
+        enumerate; curve masses then use the conservative bounds
+        :math:`A_g = \\min(2^s, |U|)`, :math:`A_{g\\wedge\\eta} = 0`,
+        which can only overstate the cost.
+    log_ratio, value:
+        Pre-sampled message and its log-likelihood ratio
+        :math:`\\log_2(\\eta(value)/\\nu(value))`; used by the amortized
+        compressor, which samples product messages copy by copy.
+    """
+    if (universe is None) == (universe_size is None):
+        raise ValueError("pass exactly one of universe / universe_size")
+    if universe is not None:
+        size = len(universe)
+    else:
+        size = int(universe_size)  # type: ignore[arg-type]
+    if size < 1:
+        raise ValueError("universe must be non-empty")
+
+    if value is None:
+        if eta is None:
+            raise ValueError("pass eta or a pre-sampled value")
+        value = eta.sample(rng)
+    if log_ratio is None:
+        if eta is None or nu is None:
+            raise ValueError("pass (eta, nu) or a pre-computed log_ratio")
+        s = _log_ratio_ceil(eta[value], nu[value])
+    else:
+        s = math.ceil(log_ratio - 1e-12)
+
+    # Accepted dart index i ~ Geometric(1/|U|); derive block and the
+    # within-block position.  For huge universes, sample in the
+    # exponential limit (error O(1/|U|)).
+    small_universe = size <= 2**48
+    if small_universe:
+        p_accept = 1.0 / size
+        i = _sample_geometric(rng, p_accept)
+        block = (i + size - 1) // size
+        position = i - (block - 1) * size  # 1-based within the block
+        before = position - 1
+        after = size - position
+        v = position / size
+    else:
+        # i/|U| -> Exponential(1): block = ceil(E), v = E - (block - 1).
+        exponential = -math.log(1.0 - rng.random())
+        block = max(int(math.ceil(exponential)), 1)
+        v = min(max(exponential - (block - 1), 0.0), 1.0)
+        before = after = 0  # unused; counts come from the Poisson limit
+
+    # Curve masses.  `log2_size` caps the scaled-prior mass at |U| without
+    # materializing huge floats.
+    log2_size = size.bit_length() - 1
+    if universe is not None:
+        a_g, a_g_eta = curve_masses(eta, nu, s, universe)
+        a_g_log2 = None
+    elif s <= min(log2_size, 500):
+        a_g = 2.0**s
+        a_g_eta = 0.0
+        a_g_log2 = None
+    else:
+        # The scaled prior's mass is astronomically large (or the cap |U|
+        # binds); |P'| concentrates so tightly around its mean that the
+        # rank width is its log, computed analytically.
+        a_g = a_g_eta = 0.0
+        a_g_log2 = float(min(s, log2_size))
+
+    if a_g_log2 is not None:
+        expected_log2 = a_g_log2 + math.log2(max(v, 1e-18))
+        rank_bits = max(int(math.ceil(expected_log2)), 0)
+        candidate_count = 1 << rank_bits if rank_bits < 10_000 else -1
+        rank = max(candidate_count // 2, 1)
+    else:
+        # Candidates among the rejected darts before the accepted one lie
+        # under g but not under eta; darts after it just lie under g.
+        if small_universe:
+            p_before = max(a_g - a_g_eta, 0.0) / max(size - 1.0, 1.0)
+            p_after = a_g / size
+            count_before = _sample_binomial(rng, before, min(p_before, 1.0))
+            count_after = _sample_binomial(rng, after, min(p_after, 1.0))
+        else:
+            count_before = _sample_poisson(rng, v * max(a_g - a_g_eta, 0.0))
+            count_after = _sample_poisson(rng, max(1.0 - v, 0.0) * a_g)
+        candidate_count = count_before + count_after + 1
+        rank = count_before + 1
+        rank_bits = _rank_width(candidate_count)
+
+    cost = SamplingCost(
+        block_bits=_block_bits(block),
+        ratio_bits=_ratio_bits(s),
+        rank_bits=rank_bits,
+    )
+    return SampledMessage(
+        value=value,
+        s=s,
+        block=block,
+        rank=rank,
+        candidate_count=candidate_count,
+        cost=cost,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exact samplers for the auxiliary laws (no numpy dependency so that the
+# RNG stream is fully reproducible from a single random.Random).
+# ----------------------------------------------------------------------
+def _sample_geometric(rng: random.Random, p: float) -> int:
+    """Number of trials to first success, support {1, 2, ...}."""
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must lie in (0, 1], got {p!r}")
+    if p == 1.0:
+        return 1
+    u = 1.0 - rng.random()  # in (0, 1]
+    return int(math.floor(math.log(u) / math.log(1.0 - p))) + 1
+
+
+def _sample_binomial(rng: random.Random, n: int, p: float) -> int:
+    """Binomial(n, p) via inversion for small means, else normal tail-safe
+    Poisson/Gaussian hybrid (exactness matters only for small n here;
+    large-n draws use the Poisson limit which is the regime they model)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p!r}")
+    if n == 0 or p == 0.0:
+        return 0
+    if p == 1.0:
+        return n
+    mean = n * p
+    if n <= 64:
+        return sum(1 for _ in range(n) if rng.random() < p)
+    if mean <= 32.0:
+        # Poisson approximation territory, but stay exact with inversion
+        # on the binomial pmf.
+        u = rng.random()
+        cumulative = 0.0
+        pmf = (1.0 - p) ** n
+        value = 0
+        while value < n:
+            cumulative += pmf
+            if u < cumulative:
+                return value
+            pmf *= (n - value) / (value + 1.0) * (p / (1.0 - p))
+            value += 1
+        return n
+    # Large mean: normal approximation with continuity correction; the
+    # quantities fed here are dart counts whose log only matters to O(1).
+    std = math.sqrt(n * p * (1.0 - p))
+    value = int(round(rng.gauss(mean, std)))
+    return min(max(value, 0), n)
+
+
+def _sample_poisson(rng: random.Random, mean: float) -> int:
+    """Poisson(mean) via inversion (small mean) or normal approximation."""
+    if mean < 0.0:
+        raise ValueError(f"mean must be >= 0, got {mean!r}")
+    if mean == 0.0:
+        return 0
+    if mean <= 64.0:
+        u = rng.random()
+        cumulative = 0.0
+        pmf = math.exp(-mean)
+        value = 0
+        while True:
+            cumulative += pmf
+            if u < cumulative or value > 10_000:
+                return value
+            value += 1
+            pmf *= mean / value
+    value = int(round(rng.gauss(mean, math.sqrt(mean))))
+    return max(value, 0)

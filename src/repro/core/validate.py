@@ -1,0 +1,159 @@
+"""Mechanical validation of blackboard-model discipline.
+
+The exactness of everything in this library — the Lemma 3 decomposition,
+the information-cost functionals, the compression pipeline — rests on
+protocols actually obeying the model of Section 3.  This module checks a
+protocol against a family of inputs:
+
+* **Self-delimiting transcripts**: at every reachable board state, the
+  union over inputs of the speaking player's possible messages is
+  prefix-free (an observer can parse the raw board).
+* **Consistent state folding**: the incremental ``advance_state`` agrees
+  with replaying the board from scratch, for turn-taking and outputs.
+* **Halting**: every execution halts within a message budget.
+
+Use :func:`validate_protocol` when implementing a new protocol; the test
+suite applies it to every protocol shipped here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from .model import Message, Protocol, ProtocolViolation, Transcript, check_prefix_free
+
+__all__ = ["ValidationReport", "validate_protocol", "reachable_boards"]
+
+
+@dataclass
+class ValidationReport:
+    """What :func:`validate_protocol` explored and confirmed."""
+
+    states_checked: int = 0
+    max_board_length: int = 0
+    prefix_free_everywhere: bool = True
+    replay_consistent: bool = True
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def reachable_boards(
+    protocol: Protocol,
+    input_tuples: Sequence[Sequence[Any]],
+    *,
+    max_boards: int = 100_000,
+) -> Iterator[Tuple[Any, Transcript, int, set]]:
+    """BFS over all board states reachable from the given inputs.
+
+    Yields ``(state, board, speaker, message_set)`` for every reachable
+    non-final board, where ``message_set`` is the union over (reaching)
+    inputs of the speaking player's supported messages.
+    """
+    frontier: List[Tuple[Any, Transcript]] = [
+        (protocol.initial_state(), Transcript())
+    ]
+    seen = {Transcript()}
+    while frontier:
+        if len(seen) > max_boards:
+            raise ProtocolViolation(
+                f"more than {max_boards} reachable boards; pass a smaller "
+                "input family"
+            )
+        state, board = frontier.pop()
+        speaker = protocol.next_speaker(state, board)
+        if speaker is None:
+            continue
+        messages = set()
+        for inputs in input_tuples:
+            if not _board_reachable(protocol, board, inputs):
+                continue
+            dist = protocol.message_distribution(
+                state, speaker, inputs[speaker], board
+            )
+            messages.update(dist.support())
+        yield state, board, speaker, messages
+        for bits in messages:
+            message = Message(speaker, bits)
+            new_board = board.extend(message)
+            if new_board not in seen:
+                seen.add(new_board)
+                frontier.append(
+                    (protocol.advance_state(state, message), new_board)
+                )
+
+
+def _board_reachable(
+    protocol: Protocol, board: Transcript, inputs: Sequence[Any]
+) -> bool:
+    """Whether ``inputs`` generates ``board`` with positive probability."""
+    state = protocol.initial_state()
+    current = Transcript()
+    for message in board:
+        speaker = protocol.next_speaker(state, current)
+        if speaker != message.speaker:
+            return False
+        dist = protocol.message_distribution(
+            state, speaker, inputs[speaker], current
+        )
+        if dist[message.bits] <= 0.0:
+            return False
+        state = protocol.advance_state(state, message)
+        current = current.extend(message)
+    return True
+
+
+def validate_protocol(
+    protocol: Protocol,
+    input_tuples: Sequence[Sequence[Any]],
+    *,
+    max_boards: int = 100_000,
+) -> ValidationReport:
+    """Check the model discipline over every board reachable from the
+    given inputs; returns a report whose ``ok`` is True when the protocol
+    is sound on that family."""
+    report = ValidationReport()
+    for state, board, speaker, messages in reachable_boards(
+        protocol, input_tuples, max_boards=max_boards
+    ):
+        report.states_checked += 1
+        report.max_board_length = max(report.max_board_length, len(board))
+        if messages:
+            try:
+                check_prefix_free(messages)
+            except ProtocolViolation as error:
+                report.prefix_free_everywhere = False
+                report.problems.append(
+                    f"board {board!r}: {error}"
+                )
+        replayed = protocol.replay_state(board)
+        if protocol.next_speaker(replayed, board) != speaker:
+            report.replay_consistent = False
+            report.problems.append(
+                f"board {board!r}: replayed state disagrees on the speaker"
+            )
+    # Final-state output consistency per input.
+    from .tree import transcript_distribution
+
+    for inputs in input_tuples:
+        for transcript in transcript_distribution(
+            protocol, inputs
+        ).support():
+            state = protocol.initial_state()
+            board = Transcript()
+            for message in transcript:
+                state = protocol.advance_state(state, message)
+                board = board.extend(message)
+            replayed = protocol.replay_state(board)
+            incremental = protocol.output(state, board)
+            from_scratch = protocol.output(replayed, board)
+            if incremental != from_scratch:
+                report.replay_consistent = False
+                report.problems.append(
+                    f"inputs {tuple(inputs)!r}: output mismatch between "
+                    "incremental and replayed state"
+                )
+    return report

@@ -1,0 +1,73 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments E1 E5      # run selected experiments
+    python -m repro.experiments all        # run everything
+    python -m repro.experiments all --save results/   # also write tables
+
+Each experiment prints its rendered table (the same table the benchmark
+harness writes to ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper-reproduction experiment tables "
+                    "(see DESIGN.md for the index).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (E1..E11) or 'all'; empty lists them",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        help="also write each rendered table to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiments:
+        print("available experiments:")
+        for eid in sorted(ALL_EXPERIMENTS, key=_experiment_order):
+            doc = ALL_EXPERIMENTS[eid].__module__.rsplit(".", 1)[-1]
+            print(f"  {eid:<4} ({doc})")
+        return 0
+
+    selected = args.experiments
+    if len(selected) == 1 and selected[0].lower() == "all":
+        selected = sorted(ALL_EXPERIMENTS, key=_experiment_order)
+    unknown = [e for e in selected if e.upper() not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+
+    for eid in selected:
+        eid = eid.upper()
+        started = time.monotonic()
+        table = ALL_EXPERIMENTS[eid]()
+        elapsed = time.monotonic() - started
+        print(table.render())
+        print(f"({eid} completed in {elapsed:.1f}s)\n")
+        if args.save:
+            path = table.save(args.save)
+            print(f"saved to {path}\n")
+    return 0
+
+
+def _experiment_order(eid: str) -> int:
+    return int(eid[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

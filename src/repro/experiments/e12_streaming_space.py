@@ -1,0 +1,83 @@
+"""E12 (extension) — the streaming application ([1, 2, 17] motivation).
+
+The introduction motivates the disjointness bound through streaming: a
+one-pass algorithm deciding a frequency-``k`` event in space ``S`` gives a
+blackboard protocol for :math:`\\mathrm{DISJ}_{n,k}` with
+:math:`(k-1) S + 1` bits of communication, so Corollary 1 forces
+:math:`S = \\Omega((n \\log k + k)/k)`.
+
+This experiment runs the reduction end-to-end: it builds the protocol
+induced by the exact capped-frequency algorithm, verifies it solves
+disjointness, measures its communication, and tabulates the algorithm's
+space against the communication-implied lower bound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from ..core.runner import run_protocol
+from ..core.tasks import disjointness_task
+from ..streaming.algorithms import CappedFrequencyCounter
+from ..streaming.reduction import (
+    StreamingSimulationProtocol,
+    space_lower_bound,
+)
+from .tables import ExperimentTable
+from .workloads import partition_instance, random_instance
+
+__all__ = ["run", "DEFAULT_GRID"]
+
+DEFAULT_GRID: Sequence[Tuple[int, int]] = (
+    (64, 4),
+    (256, 8),
+    (512, 8),
+    (1024, 16),
+    (2048, 32),
+)
+
+
+def run(
+    grid: Sequence[Tuple[int, int]] = DEFAULT_GRID, *, seed: int = 0
+) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E12",
+        title="Streaming space via the disjointness reduction "
+              "(extension; cf. [1])",
+        paper_claim=(
+            "a one-pass algorithm for the frequency-k event in space S "
+            "yields a DISJ protocol with (k-1)S + 1 bits, so Corollary 1 "
+            "forces S = Omega((n log k + k)/k)"
+        ),
+        columns=[
+            "n", "k", "algorithm space S", "protocol bits (k-1)S+1",
+            "implied S lower bound", "S/bound",
+        ],
+    )
+    rng = random.Random(seed)
+    for n, k in grid:
+        algorithm = CappedFrequencyCounter(n, cap=k)
+        protocol = StreamingSimulationProtocol(algorithm, k)
+        task = disjointness_task(n, k)
+        # Verify the reduction on the worst case and random instances.
+        for inputs in (
+            partition_instance(n, k),
+            random_instance(n, k, rng),
+            random_instance(n, k, rng, density=0.9),
+        ):
+            outcome = run_protocol(protocol, inputs)
+            if outcome.output != task.evaluate(inputs):
+                raise AssertionError(
+                    f"reduction protocol wrong at n={n}, k={k}"
+                )
+        space = n * (k).bit_length()
+        bits = run_protocol(protocol, partition_instance(n, k)).bits_communicated
+        bound = space_lower_bound(n, k)
+        table.add_row(n, k, space, bits, bound, space / bound)
+    table.add_note(
+        "the exact algorithm's space is ~n log2(k); the implied bound is "
+        "~(n log2 k)/(4k) per Corollary 1 with constant 1/4 — consistent, "
+        "with the k-fold slack the reduction inherently pays"
+    )
+    return table

@@ -1,0 +1,83 @@
+"""E14 (extension) — certified minimum information cost of AND_k.
+
+The strongest form of the Theorem 1 evidence this reproduction offers:
+for the *zero-error deterministic* protocol class, the rectangle dynamic
+program of :mod:`repro.lowerbounds.optimal_information` computes the
+exact minimum of :math:`CIC_\\mu = H(\\Pi \\mid Z)` over **all**
+protocols in the class.  The table shows:
+
+* the optimum grows as :math:`\\approx \\tfrac12 \\log_2 k` — Theorem
+  1's :math:`\\Omega(\\log k)` realized as a certified equality for this
+  class;
+* the Section 6 sequential protocol *attains* the optimum at every ``k``
+  (it is exactly information-optimal, not just an upper-bound witness);
+* the analogous external-IC optima under uniform inputs, with the XOR
+  task as the full-revelation contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.analysis import conditional_information_cost
+from ..lowerbounds.hard_distribution import and_hard_distribution
+from ..lowerbounds.optimal_information import (
+    minimum_zero_error_cic,
+    minimum_zero_error_external_ic,
+)
+from ..protocols.and_protocols import SequentialAndProtocol
+from .tables import ExperimentTable
+
+__all__ = ["run", "DEFAULT_KS"]
+
+DEFAULT_KS: Sequence[int] = (2, 3, 4, 6, 8, 10)
+
+
+def run(ks: Sequence[int] = DEFAULT_KS) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E14",
+        title="Certified minimum information cost of AND_k "
+              "(zero-error deterministic class)",
+        paper_claim=(
+            "Theorem 1: CIC_mu(AND_k) = Omega(log k); here the exact "
+            "minimum over ALL zero-error deterministic protocols, "
+            "computed by rectangle DP"
+        ),
+        columns=[
+            "k", "min CIC (all protocols)", "seq AND CIC", "optimal?",
+            "min CIC / log2 k",
+        ],
+    )
+    ratios = []
+    for k in ks:
+        optimum = minimum_zero_error_cic(k)
+        sequential = conditional_information_cost(
+            SequentialAndProtocol(k), and_hard_distribution(k)
+        )
+        ratio = optimum / math.log2(k)
+        ratios.append(ratio)
+        table.add_row(
+            k, optimum, sequential,
+            "yes" if abs(optimum - sequential) < 1e-9 else "NO",
+            ratio,
+        )
+    table.add_note(
+        "the certified optimum tracks (1/2) log2 k (ratios "
+        f"{min(ratios):.3f}-{max(ratios):.3f}) and is attained by the "
+        "sequential protocol at every k: Theorem 1's Omega(log k) holds "
+        "with certified constant ~1/2 in this class"
+    )
+    k = max(ks)
+    and_external = minimum_zero_error_external_ic(
+        k, lambda x: int(all(x)), [0.5] * k
+    )
+    xor_external = minimum_zero_error_external_ic(
+        k, lambda x: sum(x) % 2, [0.5] * k
+    )
+    table.add_note(
+        f"external-IC optima under uniform inputs at k={k}: "
+        f"AND needs {and_external:.4f} bits, XOR needs "
+        f"{xor_external:.4f} (= k, full revelation)"
+    )
+    return table

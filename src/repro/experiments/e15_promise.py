@@ -1,0 +1,109 @@
+"""E15 (extension) — the promise version is strictly easier.
+
+The paper's related-work remark: promise (unique-intersection)
+disjointness "has received significant attention in the broadcast model"
+for its streaming connections — and it is a *different problem* from the
+one the paper's tight :math:`\\Theta(n \\log k + k)` bound addresses.
+This experiment quantifies the difference: on promise instances (sets
+pairwise disjoint up to one element common to all), the pigeonhole
+protocol of :mod:`repro.protocols.promise` costs
+:math:`O(k \\log n + (n/k)\\log k + n)` while the general optimal
+protocol still pays its :math:`\\Theta(n \\log k)`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.runner import run_protocol
+from ..protocols.optimal_disjointness import OptimalDisjointnessProtocol
+from ..protocols.promise import PromiseUniqueIntersectionProtocol
+from .tables import ExperimentTable
+
+__all__ = ["run", "promise_instance", "DEFAULT_GRID"]
+
+DEFAULT_GRID: Sequence[Tuple[int, int]] = (
+    (256, 4),
+    (1024, 8),
+    (1024, 16),
+    (2048, 16),
+    (2048, 32),
+    (4096, 64),
+)
+
+
+def promise_instance(
+    n: int,
+    k: int,
+    rng: random.Random,
+    *,
+    intersecting: bool,
+    fill: float = 0.8,
+) -> Tuple[Tuple[int, ...], int]:
+    """A promise instance: the universe is (mostly) partitioned among the
+    players, plus optionally one element held by everyone.  Returns
+    ``(masks, shared_element_or_minus_1)``."""
+    coordinates = list(range(n))
+    rng.shuffle(coordinates)
+    shared = coordinates.pop() if intersecting else -1
+    masks: List[int] = [0] * k
+    for index, coordinate in enumerate(coordinates):
+        if rng.random() < fill:
+            masks[index % k] |= 1 << coordinate
+    if shared >= 0:
+        for i in range(k):
+            masks[i] |= 1 << shared
+    return tuple(masks), shared
+
+
+def run(
+    grid: Sequence[Tuple[int, int]] = DEFAULT_GRID, *, seed: int = 0
+) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E15",
+        title="Promise (unique-intersection) disjointness vs the general "
+              "problem (extension; cf. [2, 17])",
+        paper_claim=(
+            "the promise version studied for streaming is strictly "
+            "easier: O(k log n + (n/k) log k + n) under the promise vs "
+            "Theta(n log k + k) in general"
+        ),
+        columns=[
+            "n", "k", "case", "promise bits", "general bits",
+            "general/promise", "witness found",
+        ],
+    )
+    rng = random.Random(seed)
+    for n, k in grid:
+        for intersecting in (False, True):
+            masks, shared = promise_instance(
+                n, k, rng, intersecting=intersecting
+            )
+            promise_protocol = PromiseUniqueIntersectionProtocol(n, k)
+            run_promise = run_protocol(promise_protocol, masks)
+            run_general = run_protocol(
+                OptimalDisjointnessProtocol(n, k), masks
+            )
+            expected = int(not intersecting)
+            if run_promise.output != expected or run_general.output != expected:
+                raise AssertionError(f"wrong answer at n={n}, k={k}")
+            state = promise_protocol.replay_state(run_promise.transcript)
+            witness = promise_protocol.witness(state)
+            if intersecting and witness != shared:
+                raise AssertionError("promise protocol missed the witness")
+            table.add_row(
+                n, k,
+                "intersect" if intersecting else "disjoint",
+                run_promise.bits_communicated,
+                run_general.bits_communicated,
+                run_general.bits_communicated
+                / max(run_promise.bits_communicated, 1),
+                "yes" if witness is not None else "-",
+            )
+    table.add_note(
+        "the advantage grows with k (the promise protocol's n-bit "
+        "membership phase replaces the general protocol's n log k "
+        "zero-announcements); the witness element is recovered for free"
+    )
+    return table

@@ -1,0 +1,77 @@
+"""E4 — Lemma 6: the ``Ω(k)`` communication cliff for ``AND_k``.
+
+Sweeps the speaking budget of truncated sequential-AND protocols and
+reports, per ``(k, budget)``, the exact distributional error under
+:math:`\\mu_{\\epsilon'}` against the forced bound
+:math:`(1 - \\epsilon')(1 - \\ell/k)`.
+
+Lemma 6's shape: for any target error :math:`\\epsilon`, the error stays
+above :math:`\\epsilon` until the budget reaches
+:math:`(1 - \\epsilon/(1-\\epsilon'))\\,k` — i.e. a protocol must let a
+constant fraction of the ``k`` players speak, so its communication is
+:math:`\\Omega(k)`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..lowerbounds.fooling import TruncatedAndProtocol, lemma6_report
+from .tables import ExperimentTable
+
+__all__ = ["run", "DEFAULT_KS"]
+
+DEFAULT_KS: Sequence[int] = (16, 64, 256)
+
+
+def run(
+    ks: Sequence[int] = DEFAULT_KS,
+    *,
+    eps_prime: float = 0.2,
+    eps: float = 0.1,
+    budget_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.875, 1.0),
+) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E4",
+        title="Lemma 6 error cliff: truncated AND protocols under "
+              "mu_{eps'}",
+        paper_claim=(
+            "Lemma 6: a deterministic protocol in which fewer than "
+            "(1 - eps/(1-eps')) k players speak on 1^k errs with "
+            "probability > eps, so CC_eps(AND_k) = Omega(k)"
+        ),
+        columns=[
+            "k", "budget", "budget/k", "forced error >=",
+            "exact error", "error > eps?",
+        ],
+    )
+    threshold_fraction = 1.0 - eps / (1.0 - eps_prime)
+    crossovers: List[Tuple[int, float]] = []
+    for k in ks:
+        first_below = None
+        for fraction in budget_fractions:
+            budget = round(fraction * k)
+            report = lemma6_report(
+                TruncatedAndProtocol(k, budget), eps_prime=eps_prime
+            )
+            above = report.exact_error > eps + 1e-9
+            table.add_row(
+                k, budget, budget / k,
+                report.error_lower_bound,
+                report.exact_error,
+                "yes" if above else "no",
+            )
+            if not report.bound_holds:
+                raise AssertionError(
+                    f"Lemma 6 bound violated at k={k}, budget={budget}"
+                )
+            if not above and first_below is None:
+                first_below = budget / k
+        crossovers.append((k, first_below if first_below is not None else 1.0))
+    table.add_note(
+        f"eps = {eps}, eps' = {eps_prime}: Lemma 6 predicts the error "
+        f"stays above eps until budget/k ~ {threshold_fraction:.3f}; "
+        "measured crossovers: "
+        + ", ".join(f"k={k}: {frac:.3f}" for k, frac in crossovers)
+    )
+    return table

@@ -1,0 +1,102 @@
+"""E9 — Theorem 4: for product distributions the amortized bound is
+tight.
+
+Theorem 4's engine is exact additivity of information over independent
+copies under product inputs:
+:math:`IC_{\\mu^m}(T(f^m)) = m \\cdot IC_\\mu(f)`.  We verify the
+protocol-level identity exactly (sequential composition of ``m`` copies
+over product inputs) for several base protocols and distributions, and
+pair it with the Theorem 3 direction: the measured amortized per-copy
+cost (from E6's pipeline) squeezes between the additivity floor and the
+compression ceiling, pinning the limit to exactly ``IC``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Sequence
+
+from ..compression.amortized import compress_parallel_copies
+from ..core.analysis import external_information_cost
+from ..information.distribution import DiscreteDistribution
+from ..lowerbounds.direct_sum import information_additivity_report
+from ..lowerbounds.hard_distribution import and_hard_input_marginal
+from ..protocols.and_protocols import (
+    FullBroadcastAndProtocol,
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+)
+from .tables import ExperimentTable
+
+__all__ = ["run"]
+
+
+def _uniform_bits(k: int) -> DiscreteDistribution:
+    return DiscreteDistribution.uniform(
+        list(itertools.product((0, 1), repeat=k))
+    )
+
+
+def run(*, copies: Sequence[int] = (2, 3), seed: int = 0) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id="E9",
+        title="Theorem 4 tightness: information additivity over product "
+              "distributions",
+        paper_claim=(
+            "Theorem 4: lim_n D_{mu^n}(T(f^n, eps))/n = IC_mu(f, eps) for "
+            "product mu — via IC_{mu^m}(Pi^m) = m * IC_mu(Pi) exactly"
+        ),
+        columns=[
+            "protocol", "distribution", "m",
+            "IC(single)", "IC(m-fold)/m", "additive?",
+        ],
+    )
+    cases = [
+        (SequentialAndProtocol(3), "uniform^3", _uniform_bits(3)),
+        (SequentialAndProtocol(3), "iid biased", _iid_biased(3, 0.75)),
+        (FullBroadcastAndProtocol(3), "uniform^3", _uniform_bits(3)),
+        (NoisySequentialAndProtocol(2, 0.2), "uniform^2", _uniform_bits(2)),
+    ]
+    for protocol, label, mu in cases:
+        for m in copies:
+            report = information_additivity_report(protocol, mu, m)
+            table.add_row(
+                type(protocol).__name__,
+                label,
+                m,
+                report.single_copy_ic,
+                report.per_copy_ic,
+                "yes" if report.additive else "NO",
+            )
+            if not report.additive:
+                raise AssertionError(
+                    f"additivity failed for {type(protocol).__name__} m={m}"
+                )
+    # Squeeze: amortized compression (upper bound) vs additivity (lower
+    # bound reference) for a common instance.
+    k = 3
+    protocol = SequentialAndProtocol(k)
+    mu = and_hard_input_marginal(k)
+    ic = external_information_cost(protocol, mu)
+    rng = random.Random(seed)
+    per_copy = sum(
+        compress_parallel_copies(protocol, mu, 128, rng).per_copy_bits
+        for _ in range(4)
+    ) / 4
+    table.add_note(
+        f"squeeze at k={k}, hard marginal: IC = {ic:.4f} <= measured "
+        f"amortized bits/copy at n=128 = {per_copy:.4f} <= IC + "
+        "O(log n / n)"
+    )
+    return table
+
+
+def _iid_biased(k: int, p_one: float) -> DiscreteDistribution:
+    probs = {}
+    for bits in itertools.product((0, 1), repeat=k):
+        weight = 1.0
+        for b in bits:
+            weight *= p_one if b else (1.0 - p_one)
+        probs[bits] = weight
+    return DiscreteDistribution(probs, normalize=True)

@@ -1,0 +1,87 @@
+"""Experiment result tables.
+
+Every experiment module in :mod:`repro.experiments` returns an
+:class:`ExperimentTable`: a small, serializable record of the rows the
+experiment produced, the paper claim it reproduces, and free-form notes.
+The benchmark harness renders these as aligned text tables (written to
+``benchmarks/results/`` and echoed to stdout) and EXPERIMENTS.md quotes
+them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["ExperimentTable"]
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's results as an aligned text table."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    def _formatted_cells(self) -> List[List[str]]:
+        formatted = [list(map(str, self.columns))]
+        for row in self.rows:
+            cells = []
+            for value in row:
+                if isinstance(value, float):
+                    cells.append(f"{value:.4g}")
+                else:
+                    cells.append(str(value))
+            formatted.append(cells)
+        return formatted
+
+    def render(self) -> str:
+        """Render as an aligned, monospaced text table."""
+        cells = self._formatted_cells()
+        widths = [
+            max(len(row[i]) for row in cells)
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            f"[{self.experiment_id}] {self.title}",
+            f"paper claim: {self.paper_claim}",
+            "",
+        ]
+        header, *body = cells
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: str) -> str:
+        """Write the rendered table to ``<directory>/<id>.txt``."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+        return path

@@ -1,0 +1,77 @@
+"""Workload generators for the disjointness experiments.
+
+The E1 scaling experiment needs input families that exercise a
+protocol's worst case and its easy cases:
+
+* :func:`partition_instance` — disjoint sets whose *complements*
+  partition the universe: every coordinate must reach the board, the
+  communication-maximizing situation for all three protocols.
+* :func:`random_instance` — i.i.d. random sets with a given density.
+* :func:`planted_intersection_instance` — random sets forced to share
+  one coordinate (a guaranteed non-disjoint instance).
+* :func:`all_full_instance` — every player holds the full universe;
+  nobody has zeros, the cheapest non-disjoint input.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+__all__ = [
+    "partition_instance",
+    "random_instance",
+    "planted_intersection_instance",
+    "all_full_instance",
+]
+
+
+def partition_instance(n: int, k: int) -> Tuple[int, ...]:
+    """Disjoint instance where player ``i``'s zeros are exactly the
+    residue class ``i mod k`` — the canonical worst case: all ``n``
+    coordinates must be written on the board before the protocol can
+    answer "disjoint"."""
+    if n < 1 or k < 1:
+        raise ValueError(f"need n, k >= 1, got n={n}, k={k}")
+    full = (1 << n) - 1
+    masks: List[int] = []
+    for i in range(k):
+        zeros = 0
+        for j in range(i, n, k):
+            zeros |= 1 << j
+        masks.append(full ^ zeros)
+    return tuple(masks)
+
+
+def random_instance(
+    n: int, k: int, rng: random.Random, *, density: float = 0.5
+) -> Tuple[int, ...]:
+    """Each coordinate of each player's set is present independently with
+    probability ``density``."""
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must lie in [0, 1], got {density!r}")
+    masks = []
+    for _ in range(k):
+        mask = 0
+        for j in range(n):
+            if rng.random() < density:
+                mask |= 1 << j
+        masks.append(mask)
+    return tuple(masks)
+
+
+def planted_intersection_instance(
+    n: int, k: int, rng: random.Random, *, density: float = 0.5
+) -> Tuple[int, ...]:
+    """A random instance with one uniformly random shared coordinate
+    forced into every set (so the correct answer is "non-disjoint")."""
+    shared = rng.randrange(n)
+    masks = random_instance(n, k, rng, density=density)
+    return tuple(mask | (1 << shared) for mask in masks)
+
+
+def all_full_instance(n: int, k: int) -> Tuple[int, ...]:
+    """Every player holds the full universe: the protocol should detect
+    non-disjointness after a single all-pass cycle."""
+    full = (1 << n) - 1
+    return tuple([full] * k)

@@ -1,0 +1,61 @@
+"""Exact discrete information theory (the paper's Section 3 toolkit).
+
+Public surface:
+
+* :class:`DiscreteDistribution`, :class:`JointDistribution` — exact finite
+  distributions with marginalization / conditioning.
+* :func:`entropy`, :func:`binary_entropy`, :func:`conditional_entropy`,
+  :func:`mutual_information`, :func:`conditional_mutual_information` —
+  Definitions 1–3.
+* :func:`kl_divergence`, :func:`total_variation`, :func:`jensen_shannon`,
+  :func:`hellinger`, :func:`mutual_information_as_divergence` —
+  Definition 4 and Eq. (1).
+* Sample-based estimators in :mod:`repro.information.estimation`.
+"""
+
+from .distribution import DiscreteDistribution, JointDistribution
+from .divergence import (
+    hellinger,
+    jensen_shannon,
+    kl_divergence,
+    log_ratio,
+    mutual_information_as_divergence,
+    total_variation,
+)
+from .entropy import (
+    binary_entropy,
+    conditional_entropy,
+    conditional_mutual_information,
+    entropy,
+    entropy_chain_terms,
+    mutual_information,
+)
+from .estimation import (
+    bootstrap_interval,
+    empirical_distribution,
+    miller_madow_entropy,
+    plugin_entropy,
+    plugin_mutual_information,
+)
+
+__all__ = [
+    "DiscreteDistribution",
+    "JointDistribution",
+    "entropy",
+    "binary_entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "conditional_mutual_information",
+    "entropy_chain_terms",
+    "kl_divergence",
+    "log_ratio",
+    "total_variation",
+    "jensen_shannon",
+    "hellinger",
+    "mutual_information_as_divergence",
+    "empirical_distribution",
+    "plugin_entropy",
+    "miller_madow_entropy",
+    "plugin_mutual_information",
+    "bootstrap_interval",
+]

@@ -1,0 +1,108 @@
+"""Estimating information quantities from samples.
+
+The library computes information costs *exactly* wherever the protocol
+tree is enumerable (see :mod:`repro.core.tree`).  For large protocols the
+exact joint law is out of reach and we estimate entropies and mutual
+informations from Monte-Carlo transcripts instead.  This module provides
+the standard plug-in estimators plus the Miller–Madow bias correction,
+together with a small bootstrap helper for error bars in the benchmark
+harness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from .distribution import DiscreteDistribution
+from .entropy import entropy
+
+__all__ = [
+    "empirical_distribution",
+    "plugin_entropy",
+    "miller_madow_entropy",
+    "plugin_mutual_information",
+    "bootstrap_interval",
+]
+
+
+def empirical_distribution(
+    samples: Iterable[Hashable],
+) -> DiscreteDistribution:
+    """The empirical (type) distribution of the observed samples."""
+    return DiscreteDistribution.from_samples(samples)
+
+
+def plugin_entropy(samples: Sequence[Hashable]) -> float:
+    """The plug-in (maximum-likelihood) entropy estimate in bits.
+
+    Biased downward by roughly ``(support - 1) / (2 n ln 2)``; see
+    :func:`miller_madow_entropy` for the corrected version.
+    """
+    return entropy(empirical_distribution(samples))
+
+
+def miller_madow_entropy(samples: Sequence[Hashable]) -> float:
+    """Miller–Madow bias-corrected entropy estimate in bits."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("cannot estimate entropy from zero samples")
+    dist = empirical_distribution(samples)
+    correction = (len(dist) - 1) / (2.0 * n * math.log(2.0))
+    return entropy(dist) + correction
+
+
+def plugin_mutual_information(
+    pairs: Sequence[Tuple[Hashable, Hashable]],
+    *,
+    miller_madow: bool = False,
+) -> float:
+    """Plug-in mutual information estimate from paired samples, in bits.
+
+    Computed as ``H(A) + H(B) - H(A, B)`` on the empirical distribution.
+    With ``miller_madow=True`` each entropy term is bias-corrected, which
+    substantially reduces the systematic overestimate of MI for small
+    sample sizes (the net MI correction is negative because the joint
+    support is the largest).
+    """
+    if not pairs:
+        raise ValueError("cannot estimate mutual information from zero samples")
+    a_samples = [a for a, _ in pairs]
+    b_samples = [b for _, b in pairs]
+    estimator = miller_madow_entropy if miller_madow else plugin_entropy
+    value = (
+        estimator(a_samples)
+        + estimator(b_samples)
+        - estimator(list(pairs))
+    )
+    return max(value, 0.0)
+
+
+def bootstrap_interval(
+    samples: Sequence[Hashable],
+    statistic,
+    *,
+    rng: random.Random,
+    replicates: int = 200,
+    confidence: float = 0.95,
+) -> Tuple[float, float]:
+    """A percentile bootstrap confidence interval for ``statistic(samples)``.
+
+    ``statistic`` maps a list of samples to a float (e.g.
+    :func:`plugin_entropy`).  Returns the ``(lo, hi)`` percentile bounds.
+    """
+    if not samples:
+        raise ValueError("cannot bootstrap zero samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1")
+    n = len(samples)
+    values: List[float] = []
+    for _ in range(replicates):
+        resample = [samples[rng.randrange(n)] for _ in range(n)]
+        values.append(statistic(resample))
+    values.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = min(int(alpha * replicates), replicates - 1)
+    hi_index = min(int((1.0 - alpha) * replicates), replicates - 1)
+    return values[lo_index], values[hi_index]

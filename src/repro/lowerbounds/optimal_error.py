@@ -1,0 +1,183 @@
+"""Exact optimal error of budget-limited protocols (machine-checked Ω(k)).
+
+The library's other lower-bound modules verify the *machinery* of the
+paper's proofs on concrete protocols.  This module goes further for the
+Lemma 6 setting: it computes, **exactly and over all protocols**, the
+minimum distributional error any blackboard protocol with communication
+budget ``B`` can achieve on a one-bit-input task — so the Ω(k) bound is
+certified by exhaustive optimization, not exhibited by examples.
+
+Why this is tractable:
+
+* For the distributional error :math:`D^\\mu_\\epsilon`, Yao's easy
+  direction means deterministic protocols are optimal, so randomization
+  can be ignored.
+* Any deterministic protocol can be simulated bit by bit at equal cost
+  (a ``b``-bit message is ``b`` consecutive one-bit turns by the same
+  player), so one-bit messages are without loss of generality.
+* A deterministic one-bit-message protocol's knowledge state is exactly a
+  *rectangle*: a per-player restriction :math:`S_1 \\times \\cdots \\times
+  S_k` with :math:`S_i \\subseteq \\{0, 1\\}` — when player ``i`` speaks
+  one bit, the rectangle splits along coordinate ``i``.  (This is the
+  same product structure as Lemma 3, specialized to deterministic
+  protocols.)
+
+The dynamic program over (rectangle, remaining budget) therefore computes
+the exact optimum:
+
+.. math::
+    V(r, b) = \\min\\Bigl( \\text{err}_{\\text{stop}}(r),\\;
+        \\min_{i : |S_i| = 2} V(r^{i \\to 0}, b-1) + V(r^{i \\to 1}, b-1)
+        \\Bigr)
+
+with :math:`\\text{err}_{\\text{stop}}(r)` the smaller of the masses of
+the two answers within the rectangle (the protocol halts and outputs the
+majority answer).  The budget is worst-case per execution branch,
+matching the definition of :math:`CC(\\Pi)`.
+
+State count is :math:`3^k \\cdot (B+1)`, fine up to ``k ≈ 14``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..information.distribution import DiscreteDistribution
+
+__all__ = [
+    "optimal_distributional_error",
+    "error_budget_curve",
+    "certify_lemma6_optimality",
+]
+
+#: Per-player restriction: 0 -> input is 0, 1 -> input is 1, 2 -> unknown.
+_UNKNOWN = 2
+
+
+def _compile_weights(
+    mu: DiscreteDistribution,
+    evaluate: Callable[[Sequence[int]], int],
+    k: int,
+) -> Dict[Tuple[int, ...], Tuple[float, float]]:
+    """Per input tuple: (mass with answer 0, mass with answer 1)."""
+    weights: Dict[Tuple[int, ...], Tuple[float, float]] = {}
+    for x, p in mu.items():
+        if len(x) != k or any(bit not in (0, 1) for bit in x):
+            raise ValueError(
+                "optimal_distributional_error requires one-bit inputs; "
+                f"got {x!r}"
+            )
+        answer = evaluate(x)
+        if answer not in (0, 1):
+            raise ValueError(f"task outputs must be bits, got {answer!r}")
+        zero_mass, one_mass = weights.get(x, (0.0, 0.0))
+        if answer == 0:
+            zero_mass += p
+        else:
+            one_mass += p
+        weights[x] = (zero_mass, one_mass)
+    return weights
+
+
+def optimal_distributional_error(
+    mu: DiscreteDistribution,
+    evaluate: Callable[[Sequence[int]], int],
+    budget: int,
+) -> float:
+    """The exact minimum error over *all* protocols with worst-case
+    communication at most ``budget``, for inputs drawn from ``mu``.
+
+    ``mu`` must be over tuples of bits; ``evaluate`` maps an input tuple
+    to the correct bit.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    some_input = next(iter(mu.support()))
+    k = len(some_input)
+    weights = _compile_weights(mu, evaluate, k)
+
+    @functools.lru_cache(maxsize=None)
+    def masses(rectangle: Tuple[int, ...]) -> Tuple[float, float]:
+        """(answer-0 mass, answer-1 mass) inside the rectangle, via the
+        split recurrence so each of the 3^k rectangles costs O(1)."""
+        for i, restriction in enumerate(rectangle):
+            if restriction == _UNKNOWN:
+                left = list(rectangle)
+                right = list(rectangle)
+                left[i] = 0
+                right[i] = 1
+                w0_left, w1_left = masses(tuple(left))
+                w0_right, w1_right = masses(tuple(right))
+                return (w0_left + w0_right, w1_left + w1_right)
+        return weights.get(rectangle, (0.0, 0.0))
+
+    @functools.lru_cache(maxsize=None)
+    def value(rectangle: Tuple[int, ...], b: int) -> float:
+        # Halting error: output the majority answer within the rectangle.
+        zero_mass, one_mass = masses(rectangle)
+        best = min(zero_mass, one_mass)
+        if b == 0 or best == 0.0:
+            return best
+        for i, restriction in enumerate(rectangle):
+            if restriction != _UNKNOWN:
+                continue
+            left = list(rectangle)
+            right = list(rectangle)
+            left[i] = 0
+            right[i] = 1
+            split = value(tuple(left), b - 1) + value(tuple(right), b - 1)
+            if split < best:
+                best = split
+        return best
+
+    return value(tuple([_UNKNOWN] * k), budget)
+
+
+def error_budget_curve(
+    mu: DiscreteDistribution,
+    evaluate: Callable[[Sequence[int]], int],
+    max_budget: int,
+) -> List[float]:
+    """``[optimal error at budget 0, 1, ..., max_budget]``.
+
+    Monotone non-increasing by construction; the test suite asserts it.
+    """
+    return [
+        optimal_distributional_error(mu, evaluate, budget)
+        for budget in range(max_budget + 1)
+    ]
+
+
+def certify_lemma6_optimality(
+    k: int, *, eps_prime: float = 0.2
+) -> List[Tuple[int, float, float]]:
+    """Machine-check Lemma 6 by exhaustive optimization.
+
+    For :math:`\\mu_{\\epsilon'}` and every budget ``B``, returns
+    ``(B, optimal error, Lemma 6 bound)`` where the bound is
+    :math:`\\min(\\epsilon', (1-\\epsilon')(1 - B/k))` — the protocol
+    either answers 0 on :math:`1^k` (error :math:`\\ge \\epsilon'`) or
+    answers 1 and the transcript-collision argument applies.  Raises if
+    any protocol beats the bound — i.e. the Lemma 6 inequality is
+    certified over *all* protocols of each budget; the returned values
+    show the optimum *attains* the bound, so truncated sequential AND is
+    exactly optimal.
+    """
+    from .hard_distribution import lemma6_distribution
+
+    mu = lemma6_distribution(k, eps_prime)
+    evaluate = lambda x: int(all(x))  # noqa: E731
+    rows: List[Tuple[int, float, float]] = []
+    for budget in range(k + 1):
+        optimum = optimal_distributional_error(mu, evaluate, budget)
+        bound = min(
+            eps_prime, (1.0 - eps_prime) * (1.0 - budget / k)
+        )
+        if optimum < bound - 1e-9:
+            raise AssertionError(
+                f"Lemma 6 violated?! budget {budget}: optimum {optimum} "
+                f"< bound {bound}"
+            )
+        rows.append((budget, optimum, bound))
+    return rows

@@ -1,0 +1,176 @@
+"""Exact minimum information cost over zero-error deterministic
+protocols (machine-checked Ω(log k), deterministic class).
+
+Theorem 1 lower-bounds the conditional information cost of *every*
+protocol that solves :math:`\\mathrm{AND}_k` with small error.  As with
+:mod:`repro.lowerbounds.optimal_error`, the deterministic zero-error
+class admits exhaustive optimization:
+
+* a deterministic protocol's transcript is a function of the input, so
+  :math:`CIC_\\mu(\\Pi) = I(\\Pi; X \\mid Z) = H(\\Pi \\mid Z)`;
+* its knowledge states are rectangles, and one-bit messages split a
+  rectangle along the speaker's coordinate;
+* entropy decomposes along the protocol tree:
+  :math:`H(\\Pi \\mid Z = z) = \\sum_{\\text{nodes}} p_z(\\text{node})
+  \\, h\\bigl(\\text{split ratio at the node under } z\\bigr)`,
+
+so the dynamic program
+
+.. math::
+    V(r) = \\min_{i : |S_i| = 2}
+        \\Bigl[\\; \\mathbb{E}_z\\, p_z(r)\\, h\\!\\Bigl(
+            \\tfrac{p_z(r^{i \\to 1})}{p_z(r)}\\Bigr)
+        + V(r^{i \\to 0}) + V(r^{i \\to 1}) \\Bigr],
+    \\qquad V(\\text{monochromatic } r) = 0,
+
+computes the **exact minimum** of :math:`H(\\Pi \\mid Z)` over all
+zero-error deterministic protocols.  A leaf is admissible only if the
+rectangle is monochromatic for the task over the *whole cube*
+(correctness is worst-case — the paper's footnote 1), while the entropy
+is weighted by the hard distribution.
+
+The same DP with a single dummy ``z`` computes the minimum *external*
+information cost :math:`H(\\Pi)` under an arbitrary distribution.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..information.entropy import binary_entropy
+
+__all__ = [
+    "minimum_zero_error_cic",
+    "minimum_zero_error_external_ic",
+]
+
+_UNKNOWN = 2
+
+
+def _minimum_entropy(
+    k: int,
+    evaluate: Callable[[Sequence[int]], int],
+    conditional_masses: Sequence[Callable[[int, int], float]],
+) -> float:
+    """Core DP.
+
+    ``conditional_masses[z](i, bit)`` is :math:`\\Pr[X_i = bit]` under
+    the ``z``-th conditional distribution (players independent given
+    ``z``); the returned value is the minimum of the average-over-``z``
+    path entropy over all zero-error deterministic protocol trees.
+    """
+    z_count = len(conditional_masses)
+
+    @functools.lru_cache(maxsize=None)
+    def rect_mass(rectangle: Tuple[int, ...], z: int) -> float:
+        mass = 1.0
+        masses = conditional_masses[z]
+        for i, restriction in enumerate(rectangle):
+            if restriction == _UNKNOWN:
+                continue
+            mass *= masses(i, restriction)
+        return mass
+
+    @functools.lru_cache(maxsize=None)
+    def monochromatic(rectangle: Tuple[int, ...]) -> Optional[int]:
+        """The task's constant value on the rectangle, or None."""
+        value: Optional[int] = None
+        # Enumerate the rectangle's corners lazily; prune on mismatch.
+        free = [i for i, r in enumerate(rectangle) if r == _UNKNOWN]
+        for assignment in range(1 << len(free)):
+            x = list(rectangle)
+            for j, i in enumerate(free):
+                x[i] = (assignment >> j) & 1
+            answer = evaluate(tuple(x))
+            if value is None:
+                value = answer
+            elif answer != value:
+                return None
+        return value
+
+    @functools.lru_cache(maxsize=None)
+    def value(rectangle: Tuple[int, ...]) -> float:
+        if monochromatic(rectangle) is not None:
+            return 0.0
+        best = math.inf
+        for i, restriction in enumerate(rectangle):
+            if restriction != _UNKNOWN:
+                continue
+            left = list(rectangle)
+            right = list(rectangle)
+            left[i] = 0
+            right[i] = 1
+            left_t, right_t = tuple(left), tuple(right)
+            split_cost = 0.0
+            for z in range(z_count):
+                p_rect = rect_mass(rectangle, z)
+                if p_rect <= 0.0:
+                    continue
+                ratio = rect_mass(right_t, z) / p_rect
+                split_cost += p_rect * binary_entropy(min(max(ratio, 0.0), 1.0))
+            split_cost /= z_count
+            candidate = split_cost + value(left_t) + value(right_t)
+            if candidate < best:
+                best = candidate
+        if math.isinf(best):
+            raise ValueError(
+                "no zero-error protocol exists on this rectangle "
+                "(non-monochromatic with no splittable coordinate)"
+            )
+        return best
+
+    return value(tuple([_UNKNOWN] * k))
+
+
+def minimum_zero_error_cic(k: int) -> float:
+    """The exact minimum of :math:`CIC_\\mu = H(\\Pi \\mid Z)` over all
+    zero-error deterministic protocols for :math:`\\mathrm{AND}_k`,
+    under the Section 4 hard distribution.
+
+    Theorem 1 (for this class) says the value is :math:`\\Omega(\\log
+    k)`; experiment E14 tabulates it against :math:`\\log_2 k` and
+    against the sequential protocol's CIC (which the optimum can beat
+    only by a bounded factor).
+    """
+    if k < 2:
+        raise ValueError(f"need k >= 2, got {k}")
+
+    def masses_for(z: int) -> Callable[[int, int], float]:
+        def masses(i: int, bit: int) -> float:
+            if i == z:
+                return 1.0 if bit == 0 else 0.0
+            return (1.0 / k) if bit == 0 else (1.0 - 1.0 / k)
+
+        return masses
+
+    return _minimum_entropy(
+        k,
+        lambda x: int(all(x)),
+        [masses_for(z) for z in range(k)],
+    )
+
+
+def minimum_zero_error_external_ic(
+    k: int,
+    evaluate: Callable[[Sequence[int]], int],
+    marginals: Sequence[float],
+) -> float:
+    """The exact minimum of :math:`IC = H(\\Pi)` over zero-error
+    deterministic protocols for an arbitrary one-bit task, under the
+    product distribution with ``marginals[i] = Pr[X_i = 1]``.
+
+    (For product distributions, deterministic transcripts give
+    :math:`I(\\Pi; X) = H(\\Pi)`.)
+    """
+    if len(marginals) != k:
+        raise ValueError(f"need {k} marginals, got {len(marginals)}")
+    for p in marginals:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"marginal {p!r} outside [0, 1]")
+
+    def masses(i: int, bit: int) -> float:
+        return marginals[i] if bit == 1 else 1.0 - marginals[i]
+
+    return _minimum_entropy(k, evaluate, [masses])

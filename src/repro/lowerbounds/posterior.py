@@ -1,0 +1,146 @@
+"""Lemma 4 posteriors, the Eq. (3)–(4) divergence bound, and the Lemma 2
+per-player decomposition.
+
+These are the quantitative steps that turn "the transcript points to a
+player holding a zero" into an :math:`\\Omega(\\log k)` information cost:
+
+* :func:`posterior_zero_given_not_special` — Lemma 4:
+  :math:`\\Pr[X_i = 0 \\mid \\Pi = \\ell, Z \\ne i] =
+  \\alpha_i / (\\alpha_i + k - 1)` under the hard distribution.
+* :func:`divergence_of_surprised_posterior` — Eq. (3):
+  the exact binary KL divergence between the posterior
+  ``Bernoulli(1 - p)`` on :math:`X_i` and the ``1/k``-zero prior.
+* :func:`divergence_lower_bound` — Eq. (4): the closed-form lower bound
+  :math:`p \\log_2 k - H(p) \\ge p \\log_2 k - 1`.
+* :func:`per_player_divergence_sum` — the right-hand side of Lemma 2,
+  computed exactly from a joint (inputs, aux, transcript) law; the test
+  suite checks it never exceeds :math:`I(\\Pi; X \\mid Z)`.
+"""
+
+from __future__ import annotations
+
+import math
+from ..information.distribution import DiscreteDistribution, JointDistribution
+from ..information.divergence import kl_divergence
+from ..information.entropy import binary_entropy
+
+__all__ = [
+    "posterior_zero_given_not_special",
+    "divergence_of_surprised_posterior",
+    "divergence_lower_bound",
+    "per_player_divergence_sum",
+]
+
+
+def posterior_zero_given_not_special(alpha: float, k: int) -> float:
+    """Lemma 4: the posterior probability that :math:`X_i = 0` given the
+    transcript and :math:`Z \\ne i`, in terms of
+    :math:`\\alpha_i = q_{i,0} / q_{i,1}`.
+
+    Under :math:`\\mu`, conditioned on :math:`Z \\ne i`, player ``i``
+    holds 0 with prior :math:`1/k`; Bayes gives
+
+    .. math::
+        \\Pr[X_i = 0 \\mid \\Pi = \\ell, Z \\ne i]
+            = \\frac{q_{i,0}}{q_{i,0} + (k - 1) q_{i,1}}
+            = \\frac{\\alpha_i}{\\alpha_i + k - 1}.
+
+    ``alpha = inf`` (i.e. :math:`q_{i,1} = 0`) yields posterior 1.
+    """
+    if k < 2:
+        raise ValueError(f"need k >= 2, got {k}")
+    if math.isnan(alpha) or alpha < 0.0:
+        raise ValueError(f"alpha must be a non-negative ratio, got {alpha!r}")
+    if math.isinf(alpha):
+        return 1.0
+    return alpha / (alpha + (k - 1))
+
+
+def divergence_of_surprised_posterior(p: float, k: int) -> float:
+    """Eq. (3): the exact divergence
+    :math:`p \\log \\frac{p}{1/k} + (1-p) \\log \\frac{1-p}{1-1/k}`
+    between the posterior ``Pr[X_i = 0] = p`` and the prior
+    ``Pr[X_i = 0] = 1/k``.
+
+    Returns ``inf`` for ``p == 1`` only if ``k == 1`` (never here since
+    ``k >= 2``); the expression is finite for all ``p`` in ``[0, 1]``.
+    """
+    if k < 2:
+        raise ValueError(f"need k >= 2, got {k}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p!r}")
+    posterior = DiscreteDistribution({0: p, 1: 1.0 - p}, normalize=True)
+    prior = DiscreteDistribution({0: 1.0 / k, 1: 1.0 - 1.0 / k})
+    return kl_divergence(posterior, prior)
+
+
+def divergence_lower_bound(p: float, k: int) -> float:
+    """Eq. (4): the closed form :math:`p \\log_2 k - H(p)`, which
+    lower-bounds :func:`divergence_of_surprised_posterior`; the test
+    suite asserts the inequality across the whole ``(p, k)`` grid."""
+    if k < 2:
+        raise ValueError(f"need k >= 2, got {k}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p!r}")
+    return p * math.log2(k) - binary_entropy(p)
+
+
+def per_player_divergence_sum(joint: JointDistribution, k: int) -> float:
+    """The right-hand side of Lemma 2:
+
+    .. math::
+        \\sum_{i=1}^{k} \\mathbb{E}_{\\ell, z}\\,
+            D\\bigl(\\mu(X_i \\mid \\Pi = \\ell, Z = z) \\,\\|\\,
+                    \\mu(X_i \\mid Z = z)\\bigr),
+
+    computed exactly from a joint law with components ``inputs`` (a
+    ``k``-tuple), ``aux`` (:math:`Z`), and ``transcript``.
+
+    Lemma 2 states this is at most :math:`I(\\Pi; X \\mid Z)`; the gap is
+    the inter-player correlation the transcript may reveal.
+    """
+    names = joint.names
+    if names is None or set(names) < {"inputs", "aux", "transcript"}:
+        raise ValueError(
+            "joint must have components named 'inputs', 'aux', 'transcript'"
+        )
+    x_index = names.index("inputs")
+    z_index = names.index("aux")
+    t_index = names.index("transcript")
+
+    # One pass: accumulate per-(transcript, z) and per-z masses of each
+    # player's bit, from which all posteriors/priors follow.
+    pair_mass = {}        # (t, z) -> total probability
+    pair_bits = {}        # (t, z) -> [ {bit: mass} per player ]
+    aux_mass = {}         # z -> total probability
+    aux_bits = {}         # z -> [ {bit: mass} per player ]
+    for outcome, p in joint.items():
+        x = outcome[x_index]
+        z = outcome[z_index]
+        t = outcome[t_index]
+        pair = (t, z)
+        if pair not in pair_bits:
+            pair_bits[pair] = [dict() for _ in range(k)]
+            pair_mass[pair] = 0.0
+        if z not in aux_bits:
+            aux_bits[z] = [dict() for _ in range(k)]
+            aux_mass[z] = 0.0
+        pair_mass[pair] += p
+        aux_mass[z] += p
+        for i in range(k):
+            bit = x[i]
+            table = pair_bits[pair][i]
+            table[bit] = table.get(bit, 0.0) + p
+            table = aux_bits[z][i]
+            table[bit] = table.get(bit, 0.0) + p
+
+    total = 0.0
+    for pair, p_pair in pair_mass.items():
+        _t, z = pair
+        for i in range(k):
+            posterior = DiscreteDistribution(
+                pair_bits[pair][i], normalize=True
+            )
+            prior = DiscreteDistribution(aux_bits[z][i], normalize=True)
+            total += p_pair * kl_divergence(posterior, prior)
+    return total

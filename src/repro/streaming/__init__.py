@@ -1,0 +1,18 @@
+"""Streaming substrate: the one-pass model, exact frequency/distinct
+algorithms, and the streaming → blackboard reduction that turns the
+paper's disjointness lower bound into a space lower bound (the [1]-style
+application the introduction cites)."""
+
+from .algorithms import CappedFrequencyCounter, DistinctElementsBitmap
+from .model import StreamingAlgorithm, StreamRun, run_stream
+from .reduction import StreamingSimulationProtocol, space_lower_bound
+
+__all__ = [
+    "StreamingAlgorithm",
+    "StreamRun",
+    "run_stream",
+    "CappedFrequencyCounter",
+    "DistinctElementsBitmap",
+    "StreamingSimulationProtocol",
+    "space_lower_bound",
+]

@@ -1,0 +1,117 @@
+"""Tests for the combinadic subset codec (the Section 5 batch encoding)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import (
+    BitReader,
+    binomial,
+    decode_subset,
+    encode_subset,
+    subset_code_width,
+    subset_rank,
+    subset_unrank,
+)
+
+
+class TestBinomial:
+    def test_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(10, 0) == 1
+        assert binomial(10, 10) == 1
+
+    def test_invalid_returns_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(-1, 0) == 0
+        assert binomial(3, -1) == 0
+
+    @given(st.integers(0, 40), st.integers(0, 40))
+    def test_matches_math_comb(self, n, m):
+        expected = math.comb(n, m) if 0 <= m <= n else 0
+        assert binomial(n, m) == expected
+
+
+class TestRanking:
+    def test_rank_is_bijection_small(self):
+        """Every m-subset of a small universe gets a distinct rank in
+        [0, C(n, m)), and unrank inverts it."""
+        for n in range(1, 8):
+            for m in range(0, n + 1):
+                ranks = set()
+                for subset in itertools.combinations(range(n), m):
+                    rank = subset_rank(list(subset), n)
+                    assert 0 <= rank < binomial(n, m)
+                    ranks.add(rank)
+                    assert subset_unrank(rank, n, m) == list(subset)
+                assert len(ranks) == binomial(n, m)
+
+    def test_colex_order(self):
+        """Ranks follow colexicographic order of the subsets."""
+        n, m = 6, 3
+        subsets = sorted(
+            itertools.combinations(range(n), m),
+            key=lambda s: tuple(reversed(s)),
+        )
+        for expected_rank, subset in enumerate(subsets):
+            assert subset_rank(list(subset), n) == expected_rank
+
+    def test_unsorted_subset_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            subset_rank([3, 1], 5)
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError, match="outside universe"):
+            subset_rank([0, 7], 5)
+
+    def test_unrank_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            subset_unrank(binomial(5, 2), 5, 2)
+
+    @given(st.data())
+    def test_roundtrip_random(self, data):
+        n = data.draw(st.integers(1, 200))
+        m = data.draw(st.integers(0, min(n, 12)))
+        subset = sorted(
+            data.draw(
+                st.sets(st.integers(0, n - 1), min_size=m, max_size=m)
+            )
+        )
+        rank = subset_rank(subset, n)
+        assert subset_unrank(rank, n, m) == subset
+
+
+class TestBitEncoding:
+    def test_width_formula(self):
+        assert subset_code_width(10, 3) == (binomial(10, 3) - 1).bit_length()
+        assert subset_code_width(5, 0) == 0   # single subset, zero bits
+        assert subset_code_width(5, 5) == 0
+
+    def test_width_matches_amortized_logk_claim(self):
+        """Encoding z/k coordinates out of z costs about (z/k) log2(ek)
+        bits — the key accounting step of Theorem 2."""
+        z, k = 10_000, 20
+        m = z // k
+        width = subset_code_width(z, m)
+        amortized = width / m
+        assert amortized <= math.log2(math.e * k) + 0.1
+
+    @given(st.data())
+    def test_encode_decode_roundtrip(self, data):
+        n = data.draw(st.integers(1, 64))
+        m = data.draw(st.integers(0, n))
+        subset = sorted(
+            data.draw(st.sets(st.integers(0, n - 1), min_size=m, max_size=m))
+        )
+        bits = encode_subset(subset, n)
+        assert len(bits) == subset_code_width(n, m)
+        reader = BitReader(bits)
+        assert decode_subset(reader, n, m) == subset
+        reader.expect_exhausted()
+
+    def test_invalid_universe(self):
+        with pytest.raises(ValueError):
+            subset_code_width(3, 5)

@@ -1,0 +1,137 @@
+"""Tests for the Theorem 3 amortized compression."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.compression import compress_parallel_copies
+from repro.core import external_information_cost
+from repro.information import DiscreteDistribution
+from repro.lowerbounds import and_hard_input_marginal
+from repro.protocols import (
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+)
+
+
+def uniform_bits(k):
+    return DiscreteDistribution.uniform(
+        list(itertools.product((0, 1), repeat=k))
+    )
+
+
+class TestAmortizedCompression:
+    def test_outputs_correct_for_deterministic_base(self):
+        k = 3
+        p = SequentialAndProtocol(k)
+        mu = uniform_bits(k)
+        rng = random.Random(0)
+        inputs = [mu.sample(rng) for _ in range(10)]
+        report = compress_parallel_copies(
+            p, mu, 10, rng, inputs_per_copy=inputs
+        )
+        assert report.outputs == tuple(int(all(x)) for x in inputs)
+
+    def test_per_copy_cost_decreases_with_copies(self):
+        """The heart of Theorem 3: per-copy bits fall as n grows."""
+        k = 4
+        p = SequentialAndProtocol(k)
+        mu = and_hard_input_marginal(k)
+        rng = random.Random(1)
+
+        def mean_per_copy(copies, reps):
+            total = 0.0
+            for _ in range(reps):
+                total += compress_parallel_copies(
+                    p, mu, copies, rng
+                ).per_copy_bits
+            return total / reps
+
+        small = mean_per_copy(1, 40)
+        medium = mean_per_copy(8, 10)
+        large = mean_per_copy(64, 4)
+        assert large < medium < small
+
+    def test_per_copy_cost_approaches_information_cost(self):
+        """With many copies the per-copy cost lands within a small
+        additive slack of IC(Π) — the Theorem 3 limit."""
+        k = 4
+        p = SequentialAndProtocol(k)
+        mu = and_hard_input_marginal(k)
+        ic = external_information_cost(p, mu)
+        rng = random.Random(2)
+        report_costs = [
+            compress_parallel_copies(p, mu, 128, rng).per_copy_bits
+            for _ in range(3)
+        ]
+        mean = sum(report_costs) / len(report_costs)
+        # Overhead per copy at n = 128 is r * O(log n)/n < 1 bit here.
+        assert mean == pytest.approx(ic, abs=1.2)
+        assert mean >= ic - 0.6  # cannot beat the information cost
+
+    def test_per_copy_divergence_matches_ic(self):
+        """E[divergence per copy] = IC(Π) regardless of n."""
+        k = 3
+        p = SequentialAndProtocol(k)
+        mu = uniform_bits(k)
+        ic = external_information_cost(p, mu)
+        rng = random.Random(3)
+        total = 0.0
+        reps = 12
+        for _ in range(reps):
+            total += compress_parallel_copies(
+                p, mu, 32, rng
+            ).per_copy_divergence
+        assert total / reps == pytest.approx(ic, abs=0.1)
+
+    def test_batches_group_by_speaker_and_round(self):
+        k = 3
+        p = SequentialAndProtocol(k)
+        mu = uniform_bits(k)
+        rng = random.Random(4)
+        report = compress_parallel_copies(p, mu, 20, rng)
+        # In super-round 1 every copy's speaker is player 0: one batch.
+        first_round = [b for b in report.batches if b.super_round == 1]
+        assert len(first_round) == 1
+        assert first_round[0].speaker == 0
+        assert first_round[0].copies_in_batch == 20
+
+    def test_randomized_base_protocol(self):
+        k = 3
+        p = NoisySequentialAndProtocol(k, 0.2)
+        mu = uniform_bits(k)
+        rng = random.Random(5)
+        report = compress_parallel_copies(p, mu, 16, rng)
+        assert report.copies == 16
+        assert len(report.outputs) == 16
+        # All copies run exactly k rounds.
+        assert report.super_rounds >= k
+
+    def test_fixed_inputs_validated(self):
+        p = SequentialAndProtocol(2)
+        mu = uniform_bits(2)
+        with pytest.raises(ValueError, match="input tuples"):
+            compress_parallel_copies(
+                p, mu, 3, random.Random(0), inputs_per_copy=[(1, 1)]
+            )
+
+    def test_invalid_copies(self):
+        p = SequentialAndProtocol(2)
+        with pytest.raises(ValueError):
+            compress_parallel_copies(p, uniform_bits(2), 0, random.Random(0))
+
+    def test_original_bits_accounting(self):
+        """original_bits equals what the uncompressed copies would write:
+        for the all-ones inputs, k bits per copy."""
+        k = 3
+        p = SequentialAndProtocol(k)
+        mu = uniform_bits(k)
+        rng = random.Random(6)
+        copies = 5
+        report = compress_parallel_copies(
+            p, mu, copies, rng,
+            inputs_per_copy=[(1, 1, 1)] * copies,
+        )
+        assert report.original_bits == k * copies

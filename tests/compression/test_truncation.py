@@ -1,0 +1,146 @@
+"""Tests for the Lemma 7 ε-truncation (block limit) and the Monte-Carlo
+information estimator."""
+
+import math
+import random
+
+import pytest
+
+from repro.compression import run_naive_dart_protocol
+from repro.core import (
+    estimate_information_cost,
+    external_information_cost,
+)
+from repro.information import DiscreteDistribution
+from repro.lowerbounds import and_hard_input_marginal
+from repro.protocols import SequentialAndProtocol
+
+
+class TestBlockLimit:
+    def test_failure_probability_tracks_exp_minus_t(self):
+        """Pr[abort with limit t] = (1 - 1/|U|)^{t|U|} ~ e^{-t}."""
+        rng = random.Random(0)
+        d = DiscreteDistribution({"a": 0.5, "b": 0.5})
+        universe = ["a", "b"]
+        trials = 4000
+        for t in (1, 2):
+            failures = sum(
+                run_naive_dart_protocol(
+                    d, d, rng, universe, block_limit=t
+                ).failed
+                for _ in range(trials)
+            )
+            expected = (1 - 1 / len(universe)) ** (t * len(universe))
+            assert failures / trials == pytest.approx(expected, abs=0.03)
+
+    def test_success_still_agrees(self):
+        rng = random.Random(1)
+        eta = DiscreteDistribution({"x": 0.7, "y": 0.3})
+        nu = DiscreteDistribution({"x": 0.3, "y": 0.7})
+        for _ in range(300):
+            result = run_naive_dart_protocol(
+                eta, nu, rng, ["x", "y"], block_limit=8
+            )
+            if not result.failed:
+                assert result.agreed
+            else:
+                assert result.receiver_value is None
+
+    def test_worst_case_block_cost_bounded(self):
+        """With limit t, the block announcement never exceeds the Elias
+        gamma length of t + 1 — the O(log 1/eps) term of Lemma 7."""
+        from repro.coding import elias_gamma_length
+
+        rng = random.Random(2)
+        d = DiscreteDistribution({"a": 0.5, "b": 0.5})
+        t = 4
+        for _ in range(500):
+            result = run_naive_dart_protocol(
+                d, d, rng, ["a", "b"], block_limit=t
+            )
+            assert result.message.cost.block_bits <= elias_gamma_length(t + 1)
+
+    def test_limit_validation(self):
+        rng = random.Random(3)
+        d = DiscreteDistribution({"a": 1.0})
+        with pytest.raises(ValueError):
+            run_naive_dart_protocol(d, d, rng, ["a"], block_limit=0)
+
+    def test_speaker_sample_still_eta_distributed_on_failure(self):
+        """Even on abort the speaker's own output is a true η-sample
+        (the lemma's X ~ η holds unconditionally)."""
+        rng = random.Random(4)
+        eta = DiscreteDistribution({"x": 0.8, "y": 0.2})
+        values = []
+        for _ in range(6000):
+            result = run_naive_dart_protocol(
+                eta, eta, rng, ["x", "y"], block_limit=1
+            )
+            values.append(result.message.value)
+        freq = values.count("x") / len(values)
+        assert freq == pytest.approx(0.8, abs=0.02)
+
+
+class TestMonteCarloEstimator:
+    def test_matches_exact_on_sequential_and(self):
+        k = 5
+        protocol = SequentialAndProtocol(k)
+        mu = and_hard_input_marginal(k)
+        exact = external_information_cost(protocol, mu)
+        rng = random.Random(5)
+        estimate = estimate_information_cost(
+            protocol,
+            lambda r: mu.sample(r),
+            rng=rng,
+            trials=4000,
+        )
+        assert estimate.estimate == pytest.approx(exact, abs=0.1)
+        lo, hi = estimate.confidence_interval
+        assert lo <= estimate.estimate <= hi
+        assert estimate.samples == 4000
+
+    def test_corrected_and_plugin_estimates_are_close(self):
+        """For a deterministic protocol the joint support equals the
+        input support, so the Miller–Madow correction is small and both
+        estimates agree to within it."""
+        k = 4
+        protocol = SequentialAndProtocol(k)
+        mu = and_hard_input_marginal(k)
+        rng = random.Random(6)
+        estimate = estimate_information_cost(
+            protocol, lambda r: mu.sample(r), rng=rng, trials=500
+        )
+        assert estimate.estimate >= 0.0
+        assert abs(estimate.estimate - estimate.plugin) < 0.05
+
+    def test_scales_past_exact_reach(self):
+        """k = 64 is far beyond exact-tree enumeration; the estimator
+        still lands near the closed-form value."""
+        from repro.lowerbounds import sequential_and_cic_closed_form
+
+        k = 64
+        protocol = SequentialAndProtocol(k)
+
+        def sampler(r):
+            z = r.randrange(k)
+            return tuple(
+                0 if (i == z or r.random() < 1 / k) else 1
+                for i in range(k)
+            )
+
+        rng = random.Random(7)
+        estimate = estimate_information_cost(
+            protocol, sampler, rng=rng, trials=6000,
+            bootstrap_replicates=30,
+        )
+        # The unconditional IC differs from the CIC by I(Π; Z)-ish terms;
+        # both are Theta(log k) — check the scale, not the exact value.
+        reference = sequential_and_cic_closed_form(k)
+        assert 0.5 * reference <= estimate.estimate <= 2.5 * reference
+
+    def test_trials_validated(self):
+        protocol = SequentialAndProtocol(2)
+        with pytest.raises(ValueError):
+            estimate_information_cost(
+                protocol, lambda r: (1, 1), rng=random.Random(0), trials=1
+            )

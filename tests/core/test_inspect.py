@@ -1,0 +1,69 @@
+"""Tests for the protocol inspection / pretty-printing module."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    annotate_transcript,
+    render_information_profile,
+    render_protocol_tree,
+    transcript_distribution,
+)
+from repro.information import DiscreteDistribution
+from repro.protocols import (
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+)
+
+
+def bits(k):
+    return list(itertools.product((0, 1), repeat=k))
+
+
+class TestRenderProtocolTree:
+    def test_sequential_and_structure(self):
+        text = render_protocol_tree(SequentialAndProtocol(3), bits(3))
+        assert "<root> (player 0 speaks) [8 inputs]" in text
+        assert "output 1 [1 inputs]" in text
+        # k + 1 leaves: 1^j 0 for j < 3, and 1^3.
+        assert text.count("-> output") == 4
+
+    def test_depth_truncation(self):
+        text = render_protocol_tree(
+            SequentialAndProtocol(6), bits(6), max_depth=2
+        )
+        assert "max depth reached" in text
+
+    def test_line_cap(self):
+        text = render_protocol_tree(
+            NoisySequentialAndProtocol(3, 0.2), bits(3), max_lines=5
+        )
+        assert "truncated" in text
+
+
+class TestAnnotateTranscript:
+    def test_annotations_present(self):
+        p = SequentialAndProtocol(3)
+        t = transcript_distribution(p, (1, 0, 1)).support()[0]
+        text = annotate_transcript(p, t)
+        assert "player 0 writes '1'" in text
+        assert "alpha=inf" in text   # the player that wrote the zero
+
+    def test_posterior_shown_when_distribution_given(self):
+        p = SequentialAndProtocol(2)
+        t = transcript_distribution(p, (1, 1)).support()[0]
+        mu = DiscreteDistribution.uniform(bits(2))
+        text = annotate_transcript(p, t, input_dist=mu)
+        assert "observer posterior" in text
+
+
+class TestRenderInformationProfile:
+    def test_totals_line(self):
+        p = SequentialAndProtocol(3)
+        mu = DiscreteDistribution.uniform(bits(3))
+        text = render_information_profile(p, mu)
+        assert "= IC(protocol)" in text
+        assert "round  revealed" in text
+        # First round reveals a full bit under uniform inputs.
+        assert " 1.0000" in text

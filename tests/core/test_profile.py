@@ -1,0 +1,98 @@
+"""Tests for the per-round information profile (Section 6 chain rule)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    external_information_cost,
+    information_profile,
+)
+from repro.information import DiscreteDistribution
+from repro.lowerbounds import and_hard_input_marginal
+from repro.protocols import (
+    FullBroadcastAndProtocol,
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+    random_boolean_protocol,
+)
+
+
+def uniform_bits(k):
+    return DiscreteDistribution.uniform(
+        list(itertools.product((0, 1), repeat=k))
+    )
+
+
+class TestInformationProfile:
+    def test_terms_sum_to_ic_full_broadcast(self):
+        k = 3
+        p = FullBroadcastAndProtocol(k)
+        mu = uniform_bits(k)
+        profile = information_profile(p, mu)
+        assert len(profile) == k
+        total = sum(r.revealed for r in profile)
+        assert total == pytest.approx(external_information_cost(p, mu))
+        # Uniform independent bits: each round reveals exactly 1 bit.
+        for r in profile:
+            assert r.revealed == pytest.approx(1.0)
+
+    def test_terms_sum_to_ic_sequential(self):
+        k = 4
+        p = SequentialAndProtocol(k)
+        mu = and_hard_input_marginal(k)
+        profile = information_profile(p, mu)
+        total = sum(r.revealed for r in profile)
+        assert total == pytest.approx(
+            external_information_cost(p, mu), abs=1e-9
+        )
+
+    def test_halt_probability_monotone(self):
+        k = 4
+        p = SequentialAndProtocol(k)
+        mu = uniform_bits(k)
+        profile = information_profile(p, mu)
+        halts = [r.halt_probability for r in profile]
+        assert halts[0] == 0.0
+        for a, b in zip(halts, halts[1:]):
+            assert b >= a
+
+    def test_speakers_recorded(self):
+        k = 3
+        p = FullBroadcastAndProtocol(k)
+        profile = information_profile(p, uniform_bits(k))
+        assert [r.speakers for r in profile] == [(0,), (1,), (2,)]
+
+    def test_later_rounds_reveal_less_for_sequential_and(self):
+        """Under uniform inputs the first speaker reveals a full bit;
+        later rounds are reached with falling probability so they reveal
+        strictly less in expectation."""
+        k = 5
+        p = SequentialAndProtocol(k)
+        profile = information_profile(p, uniform_bits(k))
+        revealed = [r.revealed for r in profile]
+        for a, b in zip(revealed, revealed[1:]):
+            assert b < a
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 10_000))
+    def test_chain_rule_for_random_protocols(self, seed):
+        rng = random.Random(seed)
+        k = 2
+        p = random_boolean_protocol(k, rng, rounds=2)
+        mu = uniform_bits(k)
+        profile = information_profile(p, mu)
+        assert sum(r.revealed for r in profile) == pytest.approx(
+            external_information_cost(p, mu), abs=1e-8
+        )
+
+    def test_noisy_protocol_rounds(self):
+        k = 3
+        p = NoisySequentialAndProtocol(k, 0.2)
+        mu = uniform_bits(k)
+        profile = information_profile(p, mu)
+        assert len(profile) == k
+        assert all(r.revealed >= -1e-12 for r in profile)

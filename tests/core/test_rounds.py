@@ -1,0 +1,49 @@
+"""Tests for the round-complexity corollary helpers."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    disjointness_rounds_lower_bound,
+    disjointness_rounds_weak_bound,
+    rounds_lower_bound,
+)
+
+
+class TestRoundsLowerBound:
+    def test_formula(self):
+        assert rounds_lower_bound(1000, 10, 5) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_lower_bound(10, 0, 1)
+        with pytest.raises(ValueError):
+            rounds_lower_bound(10, 2, 0)
+        with pytest.raises(ValueError):
+            rounds_lower_bound(-1, 2, 1)
+
+
+class TestDisjointnessRounds:
+    def test_log_k_gap_at_k_theta_n(self):
+        """The paper's point: at k = Θ(n) and bandwidth B, the Ω(n log k)
+        bound forces Ω(log k / B) rounds while Ω(n) forces only O(1)."""
+        n = 4096
+        k = n
+        bandwidth = 32
+        strong = disjointness_rounds_lower_bound(n, k, bandwidth)
+        weak = disjointness_rounds_weak_bound(n, k, bandwidth)
+        assert weak <= 1.0               # the trivial bound: constant rounds
+        assert strong >= math.log2(k) / bandwidth * 0.2
+        assert strong / weak >= 0.5 * math.log2(k)
+
+    def test_monotone_in_n(self):
+        assert disjointness_rounds_lower_bound(
+            2048, 64, 8
+        ) > disjointness_rounds_lower_bound(1024, 64, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            disjointness_rounds_lower_bound(0, 4, 1)
+        with pytest.raises(ValueError):
+            disjointness_rounds_weak_bound(4, 1, 1)

@@ -1,0 +1,144 @@
+"""Tests for the concrete protocol runner."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ProtocolViolation,
+    Transcript,
+    estimate_error,
+    max_communication,
+    run_protocol,
+)
+from repro.information import DiscreteDistribution
+from repro.protocols import (
+    FunctionalProtocol,
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+)
+
+
+class TestRunProtocol:
+    def test_deterministic_run(self):
+        p = SequentialAndProtocol(4)
+        run = run_protocol(p, (1, 1, 0, 1))
+        assert run.output == 0
+        assert run.bits_communicated == 3      # players 0, 1, 2 speak
+        assert run.rounds == 3
+        assert run.transcript.bit_string() == "110"
+
+    def test_all_ones_run(self):
+        p = SequentialAndProtocol(4)
+        run = run_protocol(p, (1, 1, 1, 1))
+        assert run.output == 1
+        assert run.bits_communicated == 4
+
+    def test_bits_match_transcript(self):
+        p = SequentialAndProtocol(3)
+        run = run_protocol(p, (1, 0, 1))
+        assert run.bits_communicated == run.transcript.bits_written
+
+    def test_wrong_input_count(self):
+        p = SequentialAndProtocol(3)
+        with pytest.raises(ProtocolViolation):
+            run_protocol(p, (1, 1))
+
+    def test_randomized_requires_rng(self):
+        p = NoisySequentialAndProtocol(3, 0.1)
+        with pytest.raises(ProtocolViolation, match="randomness"):
+            run_protocol(p, (1, 1, 1))
+
+    def test_randomized_with_rng(self):
+        p = NoisySequentialAndProtocol(3, 0.1)
+        run = run_protocol(p, (1, 1, 1), rng=random.Random(0))
+        assert run.output in (0, 1)
+        assert run.bits_communicated == 3
+
+    def test_non_halting_protocol_detected(self):
+        p = FunctionalProtocol(
+            1,
+            next_speaker=lambda board: 0,   # never halts
+            message_distribution=lambda pl, x, board: (
+                DiscreteDistribution.point_mass("0")
+            ),
+            output=lambda board: None,
+        )
+        with pytest.raises(ProtocolViolation, match="did not halt"):
+            run_protocol(p, (0,), max_messages=100)
+
+    def test_invalid_speaker_detected(self):
+        p = FunctionalProtocol(
+            2,
+            next_speaker=lambda board: 7 if len(board) == 0 else None,
+            message_distribution=lambda pl, x, board: (
+                DiscreteDistribution.point_mass("0")
+            ),
+            output=lambda board: None,
+        )
+        with pytest.raises(ProtocolViolation, match="invalid player"):
+            run_protocol(p, (0, 0))
+
+    def test_empty_message_detected(self):
+        p = FunctionalProtocol(
+            1,
+            next_speaker=lambda board: 0 if len(board) == 0 else None,
+            message_distribution=lambda pl, x, board: (
+                DiscreteDistribution.point_mass("")
+            ),
+            output=lambda board: None,
+        )
+        with pytest.raises(ProtocolViolation, match="empty"):
+            run_protocol(p, (0,))
+
+
+class TestEstimateError:
+    def test_zero_error_protocol(self):
+        p = SequentialAndProtocol(3)
+        rng = random.Random(0)
+        error = estimate_error(
+            p,
+            task_evaluate=lambda x: int(all(x)),
+            input_sampler=lambda r: tuple(r.randrange(2) for _ in range(3)),
+            rng=rng,
+            trials=200,
+        )
+        assert error == 0.0
+
+    def test_noisy_protocol_errs(self):
+        p = NoisySequentialAndProtocol(3, 0.25)
+        rng = random.Random(0)
+        error = estimate_error(
+            p,
+            task_evaluate=lambda x: int(all(x)),
+            input_sampler=lambda r: (1, 1, 1),
+            rng=rng,
+            trials=2000,
+        )
+        # Pr[some bit flips] = 1 - 0.75^3 ≈ 0.578.
+        assert abs(error - (1 - 0.75**3)) < 0.05
+
+    def test_zero_trials_rejected(self):
+        p = SequentialAndProtocol(2)
+        with pytest.raises(ValueError):
+            estimate_error(
+                p,
+                task_evaluate=lambda x: 0,
+                input_sampler=lambda r: (1, 1),
+                rng=random.Random(0),
+                trials=0,
+            )
+
+
+class TestMaxCommunication:
+    def test_worst_input_found(self):
+        p = SequentialAndProtocol(5)
+        inputs = [(0, 1, 1, 1, 1), (1, 1, 1, 1, 1), (1, 1, 0, 1, 1)]
+        bits, argmax = max_communication(p, inputs)
+        assert bits == 5
+        assert argmax == (1, 1, 1, 1, 1)
+
+    def test_empty_inputs_rejected(self):
+        p = SequentialAndProtocol(2)
+        with pytest.raises(ValueError):
+            max_communication(p, [])

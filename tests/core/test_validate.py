@@ -1,0 +1,82 @@
+"""Tests for the public protocol-validation API."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    ProtocolViolation,
+    validate_protocol,
+)
+from repro.information import DiscreteDistribution
+from repro.protocols import (
+    FunctionalProtocol,
+    NoisySequentialAndProtocol,
+    OptimalDisjointnessProtocol,
+    SequentialAndProtocol,
+    UnionProtocol,
+)
+
+
+def boolean_inputs(k):
+    return list(itertools.product((0, 1), repeat=k))
+
+
+class TestValidateProtocol:
+    @pytest.mark.parametrize(
+        "protocol,inputs",
+        [
+            (SequentialAndProtocol(4), boolean_inputs(4)),
+            (NoisySequentialAndProtocol(3, 0.2), boolean_inputs(3)),
+            (
+                OptimalDisjointnessProtocol(3, 2),
+                list(itertools.product(range(8), repeat=2)),
+            ),
+            (
+                UnionProtocol(3, 2),
+                list(itertools.product(range(8), repeat=2)),
+            ),
+        ],
+    )
+    def test_shipped_protocols_validate(self, protocol, inputs):
+        report = validate_protocol(protocol, inputs)
+        assert report.ok, report.problems
+        assert report.states_checked > 0
+        assert report.prefix_free_everywhere
+        assert report.replay_consistent
+
+    def test_prefix_violation_detected(self):
+        """A protocol whose message set is not prefix-free is flagged."""
+
+        def messages(player, player_input, board):
+            # Input 0 sends "0", input 1 sends "01": "0" prefixes "01".
+            return DiscreteDistribution.point_mass(
+                "0" if player_input == 0 else "01"
+            )
+
+        bad = FunctionalProtocol(
+            1,
+            next_speaker=lambda board: 0 if len(board) == 0 else None,
+            message_distribution=messages,
+            output=lambda board: 0,
+        )
+        report = validate_protocol(bad, [(0,), (1,)])
+        assert not report.ok
+        assert not report.prefix_free_everywhere
+        assert any("prefix" in p for p in report.problems)
+
+    def test_board_explosion_guard(self):
+        protocol = NoisySequentialAndProtocol(4, 0.3)
+        with pytest.raises(ProtocolViolation, match="reachable boards"):
+            list(
+                validate_protocol(
+                    protocol, boolean_inputs(4), max_boards=3
+                ).problems
+            )
+
+    def test_report_statistics(self):
+        protocol = SequentialAndProtocol(3)
+        report = validate_protocol(protocol, boolean_inputs(3))
+        # Reachable non-final boards: "", "1", "11" — 3 states.
+        assert report.states_checked == 3
+        assert report.max_board_length == 2

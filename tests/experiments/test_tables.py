@@ -1,0 +1,64 @@
+"""Tests for the experiment-table infrastructure."""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentTable
+
+
+def make_table():
+    table = ExperimentTable(
+        experiment_id="EX",
+        title="A test table",
+        paper_claim="numbers line up",
+        columns=["k", "value"],
+    )
+    table.add_row(2, 0.5)
+    table.add_row(16, 1.2345678)
+    table.add_note("a note")
+    return table
+
+
+class TestExperimentTable:
+    def test_add_row_arity_checked(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_row(1, 2, 3)
+
+    def test_render_contains_everything(self):
+        text = make_table().render()
+        assert "[EX] A test table" in text
+        assert "paper claim: numbers line up" in text
+        assert "note: a note" in text
+        assert "1.235" in text  # floats formatted to 4 significant digits
+        assert "16" in text
+
+    def test_render_alignment(self):
+        lines = make_table().render().splitlines()
+        header_index = next(
+            i for i, line in enumerate(lines) if line.startswith("k")
+        )
+        separator = lines[header_index + 1]
+        assert set(separator) <= {"-", " "}
+        # All body rows have the same width as the header.
+        width = len(lines[header_index])
+        for line in lines[header_index + 1:header_index + 4]:
+            assert len(line) == width
+
+    def test_save(self, tmp_path):
+        table = make_table()
+        path = table.save(str(tmp_path))
+        assert os.path.basename(path) == "EX.txt"
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == table.render()
+
+    def test_string_cells_pass_through(self):
+        table = ExperimentTable(
+            experiment_id="EY",
+            title="t",
+            paper_claim="c",
+            columns=["name"],
+        )
+        table.add_row("hello")
+        assert "hello" in table.render()

@@ -1,0 +1,71 @@
+"""Tests for the experiment workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import disjointness_task
+from repro.experiments import (
+    all_full_instance,
+    partition_instance,
+    planted_intersection_instance,
+    random_instance,
+)
+
+
+class TestPartitionInstance:
+    @given(st.integers(1, 64), st.integers(1, 8))
+    def test_is_disjoint_and_covers_all_coordinates(self, n, k):
+        masks = partition_instance(n, k)
+        task = disjointness_task(n, k)
+        assert task.evaluate(masks) == 1
+        # Every coordinate is a zero of exactly one player.
+        full = (1 << n) - 1
+        zero_union = 0
+        for mask in masks:
+            zeros = (~mask) & full
+            assert zero_union & zeros == 0   # zero classes are disjoint
+            zero_union |= zeros
+        assert zero_union == full
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            partition_instance(0, 3)
+
+
+class TestRandomInstance:
+    def test_density_extremes(self):
+        rng = random.Random(0)
+        empty = random_instance(10, 3, rng, density=0.0)
+        assert all(mask == 0 for mask in empty)
+        full = random_instance(10, 3, rng, density=1.0)
+        assert all(mask == (1 << 10) - 1 for mask in full)
+
+    def test_density_statistics(self):
+        rng = random.Random(1)
+        n, k = 1000, 2
+        masks = random_instance(n, k, rng, density=0.3)
+        ones = sum(bin(m).count("1") for m in masks)
+        assert ones / (n * k) == pytest.approx(0.3, abs=0.04)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_instance(4, 2, random.Random(0), density=1.5)
+
+
+class TestPlantedIntersection:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(1, 40), st.integers(1, 6), st.integers(0, 10_000))
+    def test_always_intersecting(self, n, k, seed):
+        rng = random.Random(seed)
+        masks = planted_intersection_instance(n, k, rng)
+        task = disjointness_task(n, k)
+        assert task.evaluate(masks) == 0
+
+
+class TestAllFull:
+    def test_shape(self):
+        masks = all_full_instance(5, 3)
+        assert masks == tuple([(1 << 5) - 1] * 3)

@@ -1,0 +1,102 @@
+"""Tests for the sample-based estimators."""
+
+import math
+import random
+
+import pytest
+
+from repro.information import (
+    DiscreteDistribution,
+    bootstrap_interval,
+    empirical_distribution,
+    entropy,
+    miller_madow_entropy,
+    plugin_entropy,
+    plugin_mutual_information,
+)
+
+
+class TestEmpirical:
+    def test_counts(self):
+        d = empirical_distribution("aabbbb")
+        assert d["b"] == pytest.approx(4 / 6)
+
+    def test_plugin_entropy_of_constant(self):
+        assert plugin_entropy(["x"] * 50) == 0.0
+
+    def test_plugin_entropy_converges(self):
+        rng = random.Random(1)
+        true = DiscreteDistribution({"a": 0.5, "b": 0.25, "c": 0.25})
+        samples = true.sample_many(rng, 20_000)
+        assert plugin_entropy(samples) == pytest.approx(entropy(true), abs=0.02)
+
+    def test_miller_madow_reduces_bias(self):
+        """Average over many small-sample draws: the corrected estimator
+        should land closer to the truth than the plug-in one."""
+        rng = random.Random(2)
+        true = DiscreteDistribution.uniform(range(8))
+        h_true = entropy(true)
+        plugin_values, corrected_values = [], []
+        for _ in range(300):
+            samples = true.sample_many(rng, 40)
+            plugin_values.append(plugin_entropy(samples))
+            corrected_values.append(miller_madow_entropy(samples))
+        plugin_bias = abs(sum(plugin_values) / 300 - h_true)
+        corrected_bias = abs(sum(corrected_values) / 300 - h_true)
+        assert corrected_bias < plugin_bias
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            miller_madow_entropy([])
+
+
+class TestMutualInformationEstimation:
+    def test_independent_pairs_near_zero(self):
+        rng = random.Random(3)
+        pairs = [
+            (rng.randrange(2), rng.randrange(2)) for _ in range(20_000)
+        ]
+        assert plugin_mutual_information(pairs) < 0.01
+
+    def test_identical_pairs(self):
+        rng = random.Random(4)
+        pairs = []
+        for _ in range(5000):
+            x = rng.randrange(4)
+            pairs.append((x, x))
+        assert plugin_mutual_information(pairs) == pytest.approx(2.0, abs=0.02)
+
+    def test_miller_madow_variant_runs(self):
+        rng = random.Random(5)
+        pairs = [(rng.randrange(3), rng.randrange(3)) for _ in range(200)]
+        plain = plugin_mutual_information(pairs)
+        corrected = plugin_mutual_information(pairs, miller_madow=True)
+        # The correction lowers the MI estimate (joint support dominates).
+        assert corrected <= plain + 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plugin_mutual_information([])
+
+
+class TestBootstrap:
+    def test_interval_contains_point_estimate_usually(self):
+        rng = random.Random(6)
+        true = DiscreteDistribution({"a": 0.7, "b": 0.3})
+        samples = true.sample_many(rng, 500)
+        lo, hi = bootstrap_interval(
+            samples, plugin_entropy, rng=rng, replicates=100
+        )
+        assert lo <= plugin_entropy(samples) + 0.05
+        assert hi >= plugin_entropy(samples) - 0.05
+        assert lo <= hi
+
+    def test_invalid_confidence(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            bootstrap_interval([1, 2], plugin_entropy, rng=rng, confidence=1.5)
+
+    def test_empty_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            bootstrap_interval([], plugin_entropy, rng=rng)

@@ -1,0 +1,107 @@
+"""Tests for the exact optimal-error dynamic program (the machine-checked
+Ω(k) lower bound)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.information import DiscreteDistribution
+from repro.lowerbounds import (
+    certify_lemma6_optimality,
+    error_budget_curve,
+    lemma6_distribution,
+    optimal_distributional_error,
+)
+from repro.core.analysis import distributional_error
+from repro.lowerbounds.fooling import TruncatedAndProtocol
+
+
+def and_of(x):
+    return int(all(x))
+
+
+def uniform_bits(k):
+    return DiscreteDistribution.uniform(
+        list(itertools.product((0, 1), repeat=k))
+    )
+
+
+class TestDPBasics:
+    def test_zero_budget_is_majority_error(self):
+        mu = DiscreteDistribution(
+            {(1, 1): 0.6, (0, 1): 0.4}
+        )
+        assert optimal_distributional_error(mu, and_of, 0) == pytest.approx(
+            0.4
+        )
+
+    def test_enough_budget_reaches_zero_error(self):
+        k = 4
+        mu = uniform_bits(k)
+        assert optimal_distributional_error(mu, and_of, k) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_curve_monotone(self):
+        k = 5
+        mu = lemma6_distribution(k, 0.25)
+        curve = error_budget_curve(mu, and_of, k)
+        for a, b in zip(curve, curve[1:]):
+            assert b <= a + 1e-12
+
+    def test_xor_needs_everyone(self):
+        """Parity reveals nothing until every player has spoken: the
+        optimal error stays 1/2 for every budget below k."""
+        k = 4
+        mu = uniform_bits(k)
+        xor = lambda x: sum(x) % 2  # noqa: E731
+        curve = error_budget_curve(mu, xor, k)
+        assert curve[:k] == pytest.approx([0.5] * k)
+        assert curve[k] == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        mu = uniform_bits(2)
+        with pytest.raises(ValueError):
+            optimal_distributional_error(mu, and_of, -1)
+        bad = DiscreteDistribution.point_mass((0, 2))
+        with pytest.raises(ValueError, match="one-bit"):
+            optimal_distributional_error(bad, and_of, 1)
+
+
+class TestOptimumNeverBeatsConcreteProtocols:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(2, 6), st.integers(0, 6))
+    def test_dp_lower_bounds_truncated_protocols(self, k, budget):
+        """The DP optimum is a true lower bound: no concrete protocol of
+        that budget does better (check the truncated family)."""
+        budget = min(budget, k)
+        mu = lemma6_distribution(k, 0.2)
+        optimum = optimal_distributional_error(mu, and_of, budget)
+        concrete = distributional_error(
+            TruncatedAndProtocol(k, budget), mu, and_of
+        )
+        assert optimum <= concrete + 1e-9
+
+
+class TestLemma6Certification:
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_certified_and_tight(self, k):
+        """Over ALL protocols: optimal error = min(eps',
+        (1-eps')(1 - B/k)) — Lemma 6 is both certified and exactly
+        attained by the truncated sequential protocol."""
+        rows = certify_lemma6_optimality(k, eps_prime=0.2)
+        assert len(rows) == k + 1
+        for budget, optimum, bound in rows:
+            assert optimum == pytest.approx(bound, abs=1e-9)
+
+    def test_omega_k_consequence(self):
+        """To reach error <= eps < eps', the certified optimum forces
+        budget >= (1 - eps/(1-eps')) k — the Ω(k) communication bound."""
+        k, eps_prime, eps = 10, 0.2, 0.1
+        rows = certify_lemma6_optimality(k, eps_prime=eps_prime)
+        threshold = (1 - eps / (1 - eps_prime)) * k
+        for budget, optimum, _bound in rows:
+            if optimum <= eps + 1e-12:
+                assert budget >= threshold - 1e-9

@@ -1,0 +1,103 @@
+"""Tests for the exact minimum-information dynamic program (the
+machine-checked deterministic-class Theorem 1)."""
+
+import math
+
+import pytest
+
+from repro.core import conditional_information_cost, external_information_cost
+from repro.information import DiscreteDistribution
+from repro.lowerbounds import (
+    and_hard_distribution,
+    minimum_zero_error_cic,
+    minimum_zero_error_external_ic,
+)
+from repro.protocols import SequentialAndProtocol
+
+
+def and_of(x):
+    return int(all(x))
+
+
+class TestMinimumCIC:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6, 8])
+    def test_sequential_protocol_is_exactly_optimal(self, k):
+        """The certified optimum coincides with the sequential AND
+        protocol's CIC — the Section 6 protocol is information-optimal
+        in the zero-error deterministic class."""
+        optimum = minimum_zero_error_cic(k)
+        sequential = conditional_information_cost(
+            SequentialAndProtocol(k), and_hard_distribution(k)
+        )
+        assert optimum == pytest.approx(sequential, abs=1e-9)
+
+    def test_omega_log_k_growth(self):
+        """The certified optimum grows like (1/2) log2 k — Theorem 1's
+        Ω(log k), now as an equality over the whole class."""
+        values = {k: minimum_zero_error_cic(k) for k in (2, 4, 8)}
+        for small, large in [(2, 4), (4, 8)]:
+            assert values[large] > values[small]
+        for k, v in values.items():
+            assert v / math.log2(k) >= 0.45
+
+    def test_lower_bounds_every_concrete_protocol(self):
+        """No zero-error deterministic protocol can reveal less: check
+        against the full-broadcast protocol too."""
+        from repro.protocols import FullBroadcastAndProtocol
+
+        k = 5
+        optimum = minimum_zero_error_cic(k)
+        full = conditional_information_cost(
+            FullBroadcastAndProtocol(k), and_hard_distribution(k)
+        )
+        assert optimum <= full + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_zero_error_cic(1)
+
+
+class TestMinimumExternalIC:
+    def test_matches_exact_analysis_for_and(self):
+        """The DP's external-IC optimum under uniform inputs equals the
+        sequential protocol's IC (transcript = position of first zero)."""
+        k = 4
+        import itertools
+
+        mu = DiscreteDistribution.uniform(
+            list(itertools.product((0, 1), repeat=k))
+        )
+        optimum = minimum_zero_error_external_ic(
+            k, and_of, [0.5] * k
+        )
+        sequential = external_information_cost(SequentialAndProtocol(k), mu)
+        assert optimum <= sequential + 1e-9
+        # For uniform inputs the sequential order is optimal by symmetry.
+        assert optimum == pytest.approx(sequential, abs=1e-9)
+
+    def test_xor_requires_full_entropy(self):
+        """Every zero-error protocol for XOR must reveal all k bits."""
+        k = 4
+        xor = lambda x: sum(x) % 2  # noqa: E731
+        optimum = minimum_zero_error_external_ic(k, xor, [0.5] * k)
+        assert optimum == pytest.approx(float(k), abs=1e-9)
+
+    def test_skewed_marginals_reduce_information(self):
+        """Near-deterministic inputs leak less: the optimum under
+        Pr[1] = 0.99 is far below the uniform optimum."""
+        k = 4
+        uniform = minimum_zero_error_external_ic(k, and_of, [0.5] * k)
+        skewed = minimum_zero_error_external_ic(k, and_of, [0.99] * k)
+        assert skewed < uniform / 4
+
+    def test_marginal_validation(self):
+        with pytest.raises(ValueError):
+            minimum_zero_error_external_ic(3, and_of, [0.5, 0.5])
+        with pytest.raises(ValueError):
+            minimum_zero_error_external_ic(2, and_of, [0.5, 1.5])
+
+    def test_constant_task_needs_nothing(self):
+        optimum = minimum_zero_error_external_ic(
+            3, lambda x: 1, [0.5] * 3
+        )
+        assert optimum == 0.0

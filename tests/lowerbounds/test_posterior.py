@@ -1,0 +1,150 @@
+"""Tests for Lemma 4 posteriors, the Eq. (3)–(4) divergence bounds, and
+the Lemma 2 per-player decomposition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import transcript_distribution
+from repro.core.analysis import conditional_transcript_joint
+from repro.information import conditional_mutual_information
+from repro.lowerbounds import (
+    and_hard_distribution,
+    divergence_lower_bound,
+    divergence_of_surprised_posterior,
+    per_player_divergence_sum,
+    posterior_zero_given_not_special,
+    transcript_factors,
+)
+from repro.protocols import NoisySequentialAndProtocol, SequentialAndProtocol
+
+
+class TestLemma4Formula:
+    def test_formula_values(self):
+        k = 10
+        # alpha = k - 1 gives posterior 1/2.
+        assert posterior_zero_given_not_special(float(k - 1), k) == (
+            pytest.approx(0.5)
+        )
+        # alpha = 0: posterior 0.
+        assert posterior_zero_given_not_special(0.0, k) == 0.0
+        # alpha = inf (q_{i,1} = 0): posterior 1.
+        assert posterior_zero_given_not_special(math.inf, k) == 1.0
+
+    def test_constant_posterior_needs_alpha_omega_k(self):
+        """alpha = ck gives posterior >= c/(c+1) — the 'pointing' step."""
+        for k in (8, 64, 512):
+            for c in (0.5, 1.0, 4.0):
+                posterior = posterior_zero_given_not_special(c * k, k)
+                assert posterior >= c / (c + 1) - 1e-9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            posterior_zero_given_not_special(1.0, 1)
+        with pytest.raises(ValueError):
+            posterior_zero_given_not_special(-2.0, 5)
+        with pytest.raises(ValueError):
+            posterior_zero_given_not_special(float("nan"), 5)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_formula_matches_bayes_on_hard_distribution(self, k):
+        """Lemma 4's closed form equals the brute-force Bayes posterior
+        computed from the exact joint law, for a randomized protocol."""
+        protocol = NoisySequentialAndProtocol(k, 0.2)
+        mu = and_hard_distribution(k)
+        joint = conditional_transcript_joint(protocol, mu)
+        pair_marginal = joint.marginal(["transcript", "aux"])
+        checked = 0
+        for (transcript, z), p_pair in pair_marginal.items():
+            if p_pair < 1e-6:
+                continue
+            factors = transcript_factors(
+                protocol, transcript, [[0, 1]] * k
+            )
+            posterior = joint.conditional(
+                "inputs", ["transcript", "aux"], (transcript, z)
+            )
+            for i in range(k):
+                if i == z:
+                    continue
+                alpha = factors.alpha(i)
+                formula = posterior_zero_given_not_special(alpha, k)
+                brute = posterior.probability(
+                    lambda x, _i=i: x[_i] == 0
+                )
+                assert formula == pytest.approx(brute, abs=1e-9), (
+                    transcript, z, i
+                )
+                checked += 1
+        assert checked > 0
+
+
+class TestDivergenceBounds:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(2, 4096),
+    )
+    def test_eq4_lower_bounds_eq3(self, p, k):
+        """p log k - H(p) <= exact divergence (Eq. 3 >= Eq. 4)."""
+        exact = divergence_of_surprised_posterior(p, k)
+        bound = divergence_lower_bound(p, k)
+        assert exact >= bound - 1e-9
+
+    def test_divergence_grows_like_log_k(self):
+        """At constant posterior p, the divergence is ~ p log2 k."""
+        p = 0.5
+        values = [divergence_of_surprised_posterior(p, k)
+                  for k in (16, 64, 256, 1024)]
+        # Consecutive k's quadruple, so the divergence gains ~ p*2 = 1 bit.
+        for smaller, larger in zip(values, values[1:]):
+            assert larger - smaller == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_posterior_small_divergence(self):
+        assert divergence_of_surprised_posterior(0.0, 100) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            divergence_of_surprised_posterior(1.5, 4)
+        with pytest.raises(ValueError):
+            divergence_lower_bound(0.5, 1)
+
+
+class TestLemma2:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_per_player_sum_lower_bounds_cmi(self, k):
+        """Lemma 2: sum of per-player posterior divergences is at most
+        I(Π; X | Z) — checked exactly on both protocol types."""
+        mu = and_hard_distribution(k)
+        for protocol in (
+            SequentialAndProtocol(k),
+            NoisySequentialAndProtocol(k, 0.25),
+        ):
+            joint = conditional_transcript_joint(protocol, mu)
+            cmi = conditional_mutual_information(
+                joint, "transcript", "inputs", "aux"
+            )
+            decomposed = per_player_divergence_sum(joint, k)
+            assert decomposed <= cmi + 1e-9
+
+    def test_equality_for_sequential_and(self):
+        """For the sequential AND protocol under μ the transcript factors
+        across players given Z... the decomposition is very close to
+        tight (it equals the CMI when posteriors stay product-form)."""
+        k = 4
+        mu = and_hard_distribution(k)
+        protocol = SequentialAndProtocol(k)
+        joint = conditional_transcript_joint(protocol, mu)
+        cmi = conditional_mutual_information(
+            joint, "transcript", "inputs", "aux"
+        )
+        decomposed = per_player_divergence_sum(joint, k)
+        assert decomposed == pytest.approx(cmi, rel=0.05)
+
+    def test_requires_named_components(self):
+        from repro.information import JointDistribution
+
+        bad = JointDistribution({((0,), 0, "t"): 1.0})
+        with pytest.raises(ValueError, match="named"):
+            per_player_divergence_sum(bad, 1)

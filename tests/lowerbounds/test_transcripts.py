@@ -1,0 +1,100 @@
+"""Tests for the Lemma 5 good-transcript analysis."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds import analyze_good_transcripts
+from repro.protocols import (
+    FullBroadcastAndProtocol,
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+)
+
+
+class TestGoodTranscriptAnalysis:
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_sequential_and_all_mass_points(self, k):
+        """The zero-error sequential protocol: every π_2 transcript
+        outputs 0 and points with alpha = inf (the speaking zero player
+        has q_{i,1} = 0)."""
+        report = analyze_good_transcripts(SequentialAndProtocol(k), C=16.0)
+        assert report.pi2_mass_B1 == pytest.approx(0.0, abs=1e-12)
+        assert report.pi2_mass_L == pytest.approx(1.0, abs=1e-9)
+        assert report.pointing_mass(c=1000.0) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_full_broadcast_also_points(self, k):
+        report = analyze_good_transcripts(FullBroadcastAndProtocol(k), C=16.0)
+        assert report.pi2_mass_L == pytest.approx(1.0, abs=1e-9)
+        assert report.pointing_mass(c=1000.0) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_noisy_protocol_good_mass_and_pointing(self, k):
+        """A low-noise randomized protocol still has most of its π_2 mass
+        on transcripts pointing at a zero-holder with alpha = Ω(k)."""
+        eps = 0.05
+        report = analyze_good_transcripts(
+            NoisySequentialAndProtocol(k, eps), C=4.0
+        )
+        # Output-1 mass under two-zero inputs = Pr[all writes come out 1]
+        # = eps^2 (1-eps)^(k-2) — tiny.
+        assert report.pi2_mass_B1 < 0.01
+        assert report.pi2_mass_L > 0.8
+        assert report.pi2_mass_L_prime > 0.5
+        # Pointing: for transcripts with a written 0, the writer's alpha
+        # is (1-eps)/eps = 19 >= c*k for c = 19/k... use c tuned to eps.
+        c = (1 - eps) / eps / (2 * k)
+        assert report.pointing_mass(c) > 0.5
+
+    def test_eq6_sum_alpha_bound(self):
+        """Eq. (6): every transcript in L has sum_i alpha_i >= sqrt(C)/2 * k."""
+        k, C = 5, 4.0
+        report = analyze_good_transcripts(
+            NoisySequentialAndProtocol(k, 0.05), C=C
+        )
+        threshold = math.sqrt(C) / 2.0 * k
+        for cl in report.classifications:
+            if cl.in_L:
+                assert cl.sum_alpha >= threshold - 1e-9
+
+    def test_lprime_subset_of_l(self):
+        report = analyze_good_transcripts(
+            NoisySequentialAndProtocol(4, 0.1), C=4.0
+        )
+        for cl in report.classifications:
+            if cl.in_L_prime:
+                assert cl.in_L
+
+    def test_mass_partition(self):
+        """π_2 splits exactly into L + B_0 + B_1."""
+        report = analyze_good_transcripts(
+            NoisySequentialAndProtocol(4, 0.15), C=4.0
+        )
+        total = (
+            report.pi2_mass_L + report.pi2_mass_B0 + report.pi2_mass_B1
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_b1_mass_bounded_by_error_over_mu_x2(self):
+        """The paper's bound π_2(B_1) <= δ / μ(X_2): B_1 transcripts answer
+        1 on two-zero inputs, so their mass is error mass."""
+        k, eps = 4, 0.1
+        report = analyze_good_transcripts(
+            NoisySequentialAndProtocol(k, eps), C=4.0
+        )
+        # Error on a fixed two-zero input = Pr[output 1] = eps^2 (1-eps)^2.
+        delta_on_x2 = eps**2 * (1 - eps) ** (k - 2)
+        assert report.pi2_mass_B1 == pytest.approx(delta_on_x2, abs=1e-9)
+
+    def test_needs_three_players(self):
+        with pytest.raises(ValueError):
+            analyze_good_transcripts(SequentialAndProtocol(2))
+
+    def test_classification_fields(self):
+        report = analyze_good_transcripts(SequentialAndProtocol(3), C=2.0)
+        for cl in report.classifications:
+            assert cl.output in (0, 1)
+            assert 0.0 <= cl.pi2 <= 1.0
+            assert 0.0 <= cl.pi3 <= 1.0
+            assert len(cl.alphas) == 3

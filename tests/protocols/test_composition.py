@@ -1,0 +1,108 @@
+"""Tests for sequential composition over independent instances."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    expected_communication,
+    external_information_cost,
+    run_protocol,
+)
+from repro.information import DiscreteDistribution
+from repro.protocols import (
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+)
+from repro.protocols.composition import (
+    SequentialCompositionProtocol,
+    product_scenarios,
+)
+
+
+def uniform_bits(k):
+    return DiscreteDistribution.uniform(
+        list(itertools.product((0, 1), repeat=k))
+    )
+
+
+class TestProductScenarios:
+    def test_transposition(self):
+        """Per-copy (k-tuple) inputs become per-player (copies-tuple)
+        inputs."""
+        per_copy = DiscreteDistribution.point_mass((1, 0))
+        composed = product_scenarios([per_copy, per_copy])
+        (outcome,) = composed.support()
+        assert outcome == ((1, 1), (0, 0))
+
+    def test_product_probabilities(self):
+        a = DiscreteDistribution({(0,): 0.25, (1,): 0.75})
+        composed = product_scenarios([a, a])
+        assert composed[((1, 1),)] == pytest.approx(0.75 * 0.75)
+        assert composed[((0, 1),)] == pytest.approx(0.25 * 0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            product_scenarios([])
+
+
+class TestSequentialComposition:
+    def test_outputs_are_per_copy(self):
+        base = SequentialAndProtocol(3)
+        composed = SequentialCompositionProtocol(base, 2)
+        # Copy 0: (1, 1, 1) -> 1; copy 1: (1, 0, 1) -> 0.
+        inputs = ((1, 1), (1, 0), (1, 1))
+        run = run_protocol(composed, inputs)
+        assert run.output == (1, 0)
+
+    def test_communication_adds(self):
+        base = SequentialAndProtocol(3)
+        composed = SequentialCompositionProtocol(base, 3)
+        inputs = ((1, 1, 1), (1, 1, 0), (1, 1, 1))  # copies: 111, 111, 101
+        run = run_protocol(composed, inputs)
+        per_copy = [
+            run_protocol(base, copy).bits_communicated
+            for copy in [(1, 1, 1), (1, 1, 1), (1, 0, 1)]
+        ]
+        assert run.bits_communicated == sum(per_copy)
+
+    def test_wrong_input_arity(self):
+        base = SequentialAndProtocol(2)
+        composed = SequentialCompositionProtocol(base, 3)
+        with pytest.raises(ValueError):
+            run_protocol(composed, ((1, 1), (1, 1)))  # 2 copies given, 3 needed
+
+    def test_copies_validated(self):
+        with pytest.raises(ValueError):
+            SequentialCompositionProtocol(SequentialAndProtocol(2), 0)
+
+    def test_expected_communication_additive(self):
+        base = SequentialAndProtocol(2)
+        mu = uniform_bits(2)
+        single = expected_communication(base, mu)
+        composed = SequentialCompositionProtocol(base, 2)
+        composed_mu = product_scenarios([mu, mu])
+        assert expected_communication(composed, composed_mu) == pytest.approx(
+            2 * single, abs=1e-9
+        )
+
+    def test_information_additive_for_independent_copies(self):
+        """IC(Π^m) = m · IC(Π) over product inputs — Theorem 4's engine."""
+        base = SequentialAndProtocol(2)
+        mu = uniform_bits(2)
+        single = external_information_cost(base, mu)
+        for copies in (2, 3):
+            composed = SequentialCompositionProtocol(base, copies)
+            composed_mu = product_scenarios([mu] * copies)
+            total = external_information_cost(composed, composed_mu)
+            assert total == pytest.approx(copies * single, abs=1e-8)
+
+    def test_randomized_base(self):
+        base = NoisySequentialAndProtocol(2, 0.25)
+        composed = SequentialCompositionProtocol(base, 2)
+        run = run_protocol(
+            composed, ((1, 1), (1, 1)), rng=random.Random(0)
+        )
+        assert len(run.output) == 2
+        assert run.bits_communicated == 4  # both copies always write 2 bits

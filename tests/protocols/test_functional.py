@@ -1,0 +1,66 @@
+"""Tests for FunctionalProtocol and the random protocol generator."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import run_protocol, transcript_distribution
+from repro.information import DiscreteDistribution
+from repro.protocols import FunctionalProtocol, random_boolean_protocol
+
+
+class TestFunctionalProtocol:
+    def test_simple_echo(self):
+        p = FunctionalProtocol(
+            2,
+            next_speaker=lambda board: len(board) if len(board) < 2 else None,
+            message_distribution=lambda pl, x, board: (
+                DiscreteDistribution.point_mass(str(x))
+            ),
+            output=lambda board: board.bit_string(),
+        )
+        run = run_protocol(p, (1, 0))
+        assert run.output == "10"
+
+
+class TestRandomBooleanProtocol:
+    def test_deterministic_given_seed(self):
+        """The same seed yields the same protocol (same transcript laws)."""
+        p1 = random_boolean_protocol(3, random.Random(5), rounds=2)
+        p2 = random_boolean_protocol(3, random.Random(5), rounds=2)
+        for x in itertools.product((0, 1), repeat=3):
+            d1 = transcript_distribution(p1, x)
+            d2 = transcript_distribution(p2, x)
+            assert {t.bit_string(): p for t, p in d1.items()} == pytest.approx(
+                {t.bit_string(): p for t, p in d2.items()}
+            )
+
+    def test_round_count(self):
+        p = random_boolean_protocol(3, random.Random(0), rounds=2)
+        run = run_protocol(p, (0, 1, 0), rng=random.Random(1))
+        assert run.rounds == 6  # 2 full round-robin cycles of 3 players
+
+    def test_messages_depend_on_input_generically(self):
+        """With probability 1 the sampled biases differ by input, so some
+        board state must distinguish the two inputs of some player."""
+        p = random_boolean_protocol(2, random.Random(3), rounds=1)
+        from repro.core import Transcript
+
+        board = Transcript()
+        state = p.initial_state()
+        d0 = p.message_distribution(state, 0, 0, board)
+        d1 = p.message_distribution(state, 0, 1, board)
+        assert d0["1"] != pytest.approx(d1["1"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_boolean_protocol(0, random.Random(0))
+        with pytest.raises(ValueError):
+            random_boolean_protocol(2, random.Random(0), rounds=0)
+
+    def test_output_stable_across_calls(self):
+        p = random_boolean_protocol(2, random.Random(9), rounds=1)
+        run1 = run_protocol(p, (1, 1), rng=random.Random(4))
+        state = p.replay_state(run1.transcript)
+        assert p.output(state, run1.transcript) == run1.output

@@ -1,0 +1,84 @@
+"""Adversarial-input tests: protocols must reject malformed board
+contents instead of silently mis-decoding them.
+
+In the blackboard model every player decodes everyone else's messages;
+the decoders in the shipped protocols are therefore exposed to whatever
+bit strings appear on the board.  These tests feed corrupted messages
+through ``advance_state`` and assert a clean ``ProtocolViolation`` (or
+bit-reader error), never a wrong silent parse.
+"""
+
+import pytest
+
+from repro.core import Message, ProtocolViolation, Transcript
+from repro.protocols import (
+    NaiveDisjointnessProtocol,
+    OptimalDisjointnessProtocol,
+    UnionProtocol,
+)
+
+
+class TestNaiveProtocolDecoder:
+    def test_unsorted_coordinates_rejected(self):
+        p = NaiveDisjointnessProtocol(8, 2)
+        # flag=1, count=2 (elias gamma "010"), coordinates 5 then 3.
+        bits = "1" + "010" + format(5, "03b") + format(3, "03b")
+        with pytest.raises(ProtocolViolation, match="malformed"):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+    def test_truncated_message_rejected(self):
+        p = NaiveDisjointnessProtocol(8, 2)
+        bits = "1" + "010" + format(5, "03b")  # second coordinate missing
+        with pytest.raises((ProtocolViolation, EOFError)):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+    def test_trailing_garbage_rejected(self):
+        p = NaiveDisjointnessProtocol(8, 2)
+        bits = "0" + "1"  # pass flag followed by junk
+        with pytest.raises((ProtocolViolation, ValueError)):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+
+class TestOptimalProtocolDecoder:
+    def test_endgame_out_of_range_index(self):
+        p = OptimalDisjointnessProtocol(8, 3)  # endgame from the start
+        # flag=1, count=1, index 7 is fine; index >= z must fail.  Use a
+        # two-element message with a repeated index (non-increasing).
+        width = 3  # z = 8 -> 3-bit indices
+        bits = "1" + "010" + format(4, f"0{width}b") + format(4, f"0{width}b")
+        with pytest.raises(ProtocolViolation, match="malformed"):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+    def test_truncated_batch_rejected(self):
+        p = OptimalDisjointnessProtocol(100, 4)  # batch phase
+        bits = "1" + "0101"  # far fewer bits than the subset rank width
+        with pytest.raises((ProtocolViolation, EOFError, ValueError)):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+    def test_rank_out_of_range_rejected(self):
+        p = OptimalDisjointnessProtocol(100, 4)
+        from repro.coding import subset_code_width
+
+        z, m = 100, 25
+        width = subset_code_width(z, m)
+        # The largest width-bit value generally exceeds C(z, m) - 1.
+        bits = "1" + "1" * width
+        with pytest.raises((ProtocolViolation, ValueError)):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+
+class TestUnionProtocolDecoder:
+    def test_count_exceeding_zone_rejected(self):
+        p = UnionProtocol(8, 3)  # endgame from the start (8 < 9)
+        # flag=1, elias-gamma count = 9 > z = 8.
+        from repro.coding import encode_elias_gamma
+
+        bits = "1" + encode_elias_gamma(9)
+        with pytest.raises((ProtocolViolation, EOFError, ValueError)):
+            p.advance_state(p.initial_state(), Message(0, bits))
+
+    def test_trailing_garbage_rejected(self):
+        p = UnionProtocol(8, 3)
+        bits = "0" + "00"
+        with pytest.raises((ProtocolViolation, ValueError)):
+            p.advance_state(p.initial_state(), Message(0, bits))

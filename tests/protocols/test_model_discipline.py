@@ -1,0 +1,165 @@
+"""Model-discipline tests applied to every shipped protocol.
+
+The blackboard model requires that (a) the turn function depends only on
+the board, (b) transcripts are self-delimiting, i.e. at every reachable
+board state the union (over inputs) of possible next messages is
+prefix-free, and (c) board-state folding (`advance_state`) agrees with
+re-deriving the state from scratch (`replay_state`).  These properties
+are what make the Lemma 3 decomposition and the whole exact analysis
+sound, so we verify them mechanically for each protocol.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    Transcript,
+    check_prefix_free,
+    run_protocol,
+)
+from repro.protocols import (
+    FullBroadcastAndProtocol,
+    NaiveDisjointnessProtocol,
+    NoisySequentialAndProtocol,
+    OptimalDisjointnessProtocol,
+    SequentialAndProtocol,
+    TrivialDisjointnessProtocol,
+    TwoPartyDisjointnessProtocol,
+    TwoPartySparseIntersectionProtocol,
+    UnionProtocol,
+)
+
+
+def boolean_protocol_cases():
+    return [
+        (SequentialAndProtocol(4), list(itertools.product((0, 1), repeat=4))),
+        (FullBroadcastAndProtocol(3), list(itertools.product((0, 1), repeat=3))),
+        (
+            NoisySequentialAndProtocol(3, 0.2),
+            list(itertools.product((0, 1), repeat=3)),
+        ),
+    ]
+
+
+def disjointness_protocol_cases():
+    cases = []
+    n, k = 3, 2
+    inputs = list(itertools.product(range(1 << n), repeat=k))
+    for cls in (
+        TrivialDisjointnessProtocol,
+        NaiveDisjointnessProtocol,
+        OptimalDisjointnessProtocol,
+        UnionProtocol,
+    ):
+        cases.append((cls(n, k), inputs))
+    cases.append((TwoPartyDisjointnessProtocol(3), inputs))
+    sparse_inputs = [
+        (a, b)
+        for a in range(1 << 3)
+        for b in range(1 << 3)
+        if bin(a).count("1") <= 2
+    ]
+    cases.append((TwoPartySparseIntersectionProtocol(3, 2), sparse_inputs))
+    return cases
+
+
+ALL_CASES = boolean_protocol_cases() + disjointness_protocol_cases()
+
+
+def reachable_states(protocol, input_tuples):
+    """BFS over all (board, state) pairs reachable from the given inputs,
+    yielding (state, board, speaker, message_set_across_inputs)."""
+    frontier = [(protocol.initial_state(), Transcript())]
+    seen = {Transcript()}
+    while frontier:
+        state, board = frontier.pop()
+        speaker = protocol.next_speaker(state, board)
+        if speaker is None:
+            continue
+        messages = set()
+        for inputs in input_tuples:
+            # Skip inputs that cannot reach this board.
+            if not _board_reachable(protocol, board, inputs):
+                continue
+            dist = protocol.message_distribution(
+                state, speaker, inputs[speaker], board
+            )
+            messages.update(dist.support())
+        yield state, board, speaker, messages
+        for bits in messages:
+            from repro.core import Message
+
+            message = Message(speaker, bits)
+            new_board = board.extend(message)
+            if new_board not in seen:
+                seen.add(new_board)
+                frontier.append(
+                    (protocol.advance_state(state, message), new_board)
+                )
+
+
+def _board_reachable(protocol, board, inputs):
+    """Whether `inputs` can generate `board` with positive probability."""
+    state = protocol.initial_state()
+    current = Transcript()
+    for message in board:
+        speaker = protocol.next_speaker(state, current)
+        if speaker != message.speaker:
+            return False
+        dist = protocol.message_distribution(
+            state, speaker, inputs[speaker], current
+        )
+        if dist[message.bits] <= 0.0:
+            return False
+        state = protocol.advance_state(state, message)
+        current = current.extend(message)
+    return True
+
+
+@pytest.mark.parametrize(
+    "protocol,inputs",
+    ALL_CASES,
+    ids=lambda case: type(case).__name__ if hasattr(case, "num_players") else "",
+)
+class TestDiscipline:
+    def test_prefix_free_at_every_reachable_state(self, protocol, inputs):
+        for _state, _board, _speaker, messages in reachable_states(
+            protocol, inputs
+        ):
+            if messages:
+                check_prefix_free(messages)
+
+    def test_advance_state_matches_replay(self, protocol, inputs):
+        """Incremental state folding must agree with from-scratch replay:
+        next_speaker and output must be identical under both."""
+        rng = random.Random(0)
+        for raw in inputs[:40]:
+            run = run_protocol(protocol, raw, rng=rng)
+            board = Transcript()
+            state = protocol.initial_state()
+            for message in run.transcript:
+                replayed = protocol.replay_state(board)
+                assert protocol.next_speaker(state, board) == (
+                    protocol.next_speaker(replayed, board)
+                )
+                state = protocol.advance_state(state, message)
+                board = board.extend(message)
+            replayed = protocol.replay_state(board)
+            assert protocol.next_speaker(state, board) is None
+            assert protocol.next_speaker(replayed, board) is None
+            assert protocol.output(state, board) == protocol.output(
+                replayed, board
+            )
+
+    def test_turn_function_input_oblivious(self, protocol, inputs):
+        """All inputs that reach a board agree on who speaks next — true
+        by construction (the signature admits no input), asserted here as
+        an executable statement of the model rule."""
+        for _state, board, speaker, _messages in reachable_states(
+            protocol, inputs
+        ):
+            assert protocol.next_speaker(
+                protocol.replay_state(board), board
+            ) == speaker

@@ -1,0 +1,114 @@
+"""Tests for the promise (unique-intersection) disjointness protocol."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_protocol
+from repro.protocols import OptimalDisjointnessProtocol
+from repro.protocols.promise import PromiseUniqueIntersectionProtocol
+
+
+def promise_instance(n, k, rng, *, intersecting):
+    """Sets pairwise disjoint except (optionally) one common element."""
+    coordinates = list(range(n))
+    rng.shuffle(coordinates)
+    shared = coordinates.pop() if intersecting else None
+    masks = [0] * k
+    for index, coordinate in enumerate(coordinates):
+        if rng.random() < 0.8:  # leave some coordinates unused
+            masks[index % k] |= 1 << coordinate
+    if shared is not None:
+        for i in range(k):
+            masks[i] |= 1 << shared
+    return tuple(masks), shared
+
+
+class TestCorrectnessUnderPromise:
+    @settings(deadline=None, max_examples=40)
+    @given(st.data())
+    def test_promise_instances(self, data):
+        n = data.draw(st.integers(2, 60))
+        k = data.draw(st.integers(2, 6))
+        intersecting = data.draw(st.booleans())
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        masks, shared = promise_instance(n, k, rng, intersecting=intersecting)
+        protocol = PromiseUniqueIntersectionProtocol(n, k)
+        run = run_protocol(protocol, masks)
+        assert run.output == int(not intersecting)
+        state = protocol.replay_state(run.transcript)
+        assert protocol.witness(state) == shared
+
+    def test_all_empty_sets(self):
+        protocol = PromiseUniqueIntersectionProtocol(8, 3)
+        run = run_protocol(protocol, (0, 0, 0))
+        assert run.output == 1
+
+    def test_single_player(self):
+        protocol = PromiseUniqueIntersectionProtocol(6, 1)
+        # One player: "common element" means its set is non-empty.
+        assert run_protocol(protocol, (0,)).output == 1
+        assert run_protocol(protocol, (0b101,)).output == 0
+
+
+class TestCommunicationUnderPromise:
+    def test_cheaper_than_general_protocol_at_large_k(self):
+        """Under the promise, the specialized protocol beats the general
+        Θ(n log k) protocol (which must also announce every zero)."""
+        n, k = 1024, 16
+        rng = random.Random(0)
+        masks, _ = promise_instance(n, k, rng, intersecting=True)
+        promise_bits = run_protocol(
+            PromiseUniqueIntersectionProtocol(n, k), masks
+        ).bits_communicated
+        general_bits = run_protocol(
+            OptimalDisjointnessProtocol(n, k), masks
+        ).bits_communicated
+        assert promise_bits < general_bits / 2
+
+    def test_cost_bound_shape(self):
+        """Measured cost <= k log n + (n/k) log(ek) + n + O(k)."""
+        for n, k in [(256, 8), (1024, 16), (2048, 32)]:
+            rng = random.Random(n + k)
+            masks, _ = promise_instance(n, k, rng, intersecting=False)
+            run = run_protocol(
+                PromiseUniqueIntersectionProtocol(n, k), masks
+            )
+            smallest = min(bin(m).count("1") for m in masks)
+            bound = (
+                k * math.log2(n + 1)
+                + smallest * math.log2(math.e * n / max(smallest, 1)) + 1
+                + (k - 1) * smallest
+                + 2 * k
+            )
+            assert run.bits_communicated <= bound, (n, k)
+
+    def test_smallest_set_is_published(self):
+        """The pigeonhole step: the published set has <= n/k + 1
+        elements on promise instances."""
+        n, k = 512, 8
+        rng = random.Random(5)
+        masks, _ = promise_instance(n, k, rng, intersecting=True)
+        smallest = min(bin(m).count("1") for m in masks)
+        assert smallest <= n / k + 1
+
+
+class TestDiscipline:
+    def test_model_discipline(self):
+        import itertools
+
+        from repro.core import validate_protocol
+
+        n, k = 3, 2
+        protocol = PromiseUniqueIntersectionProtocol(n, k)
+        inputs = list(itertools.product(range(1 << n), repeat=k))
+        report = validate_protocol(protocol, inputs)
+        assert report.ok, report.problems
+
+    def test_invalid_input(self):
+        protocol = PromiseUniqueIntersectionProtocol(4, 2)
+        with pytest.raises(ValueError):
+            run_protocol(protocol, (1 << 6, 0))

@@ -1,0 +1,119 @@
+"""Tests for public-coin mixtures and the equality protocol."""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.core import run_protocol
+from repro.information import DiscreteDistribution
+from repro.protocols import (
+    NoisySequentialAndProtocol,
+    ProtocolMixture,
+    SequentialAndProtocol,
+    equality_mixture,
+    mixture_error,
+    mixture_expected_communication,
+    mixture_information_cost,
+)
+
+
+def uniform_pairs(n):
+    return DiscreteDistribution.uniform(
+        list(itertools.product(range(1 << n), repeat=2))
+    )
+
+
+class TestProtocolMixture:
+    def test_weights_normalized(self):
+        mixture = ProtocolMixture(
+            [(2.0, SequentialAndProtocol(2)), (6.0, SequentialAndProtocol(2))]
+        )
+        weights = [w for w, _ in mixture.components]
+        assert weights == pytest.approx([0.25, 0.75])
+
+    def test_component_player_counts_must_match(self):
+        with pytest.raises(ValueError, match="player count"):
+            ProtocolMixture(
+                [(1.0, SequentialAndProtocol(2)),
+                 (1.0, SequentialAndProtocol(3))]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolMixture([])
+
+    def test_run_samples_components(self):
+        mixture = ProtocolMixture(
+            [(0.5, SequentialAndProtocol(3)),
+             (0.5, NoisySequentialAndProtocol(3, 0.2))]
+        )
+        rng = random.Random(0)
+        outcomes = {mixture.run((1, 1, 1), rng).rounds for _ in range(50)}
+        assert outcomes == {3}  # both components use 3 rounds on 1^3
+
+    def test_degenerate_mixture_matches_component(self):
+        protocol = SequentialAndProtocol(3)
+        mixture = ProtocolMixture([(1.0, protocol)])
+        mu = DiscreteDistribution.uniform(
+            list(itertools.product((0, 1), repeat=3))
+        )
+        from repro.core import external_information_cost
+
+        assert mixture_information_cost(mixture, mu) == pytest.approx(
+            external_information_cost(protocol, mu)
+        )
+
+
+class TestEqualityMixture:
+    def test_error_is_two_to_minus_t(self):
+        n, t = 3, 2
+        mixture = equality_mixture(n, t)
+        mu = uniform_pairs(n)
+        evaluate = lambda inputs: int(inputs[0] == inputs[1])  # noqa: E731
+        error = mixture_error(mixture, mu, evaluate)
+        # Error only on unequal pairs: Pr[x != y] * 2^-t.
+        p_unequal = 1.0 - 1.0 / (1 << n)
+        assert error == pytest.approx(p_unequal * 2.0**-t, abs=1e-9)
+
+    def test_never_errs_on_equal_inputs(self):
+        n, t = 2, 2
+        mixture = equality_mixture(n, t)
+        for _, protocol in mixture.components:
+            for x in range(1 << n):
+                assert run_protocol(protocol, (x, x)).output == 1
+
+    def test_communication_is_t_plus_one(self):
+        n, t = 3, 2
+        mixture = equality_mixture(n, t)
+        mu = uniform_pairs(n)
+        assert mixture_expected_communication(mixture, mu) == pytest.approx(
+            t + 1
+        )
+
+    def test_information_cost_at_most_communication(self):
+        n, t = 2, 2
+        mixture = equality_mixture(n, t)
+        mu = uniform_pairs(n)
+        ic = mixture_information_cost(mixture, mu)
+        assert ic <= t + 1 + 1e-9
+        # And the hashes genuinely reveal something.
+        assert ic > 0.5
+
+    def test_enumeration_limit(self):
+        with pytest.raises(ValueError, match="n\\*t"):
+            equality_mixture(8, 4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            equality_mixture(0, 1)
+
+    def test_public_coins_beat_determinism(self):
+        """t+1 bits with error 2^-t vs n bits deterministically: for
+        n = 3, t = 2 the public-coin protocol is strictly cheaper than
+        any zero-error protocol could be (n + 1 bits)."""
+        n, t = 3, 2
+        mixture = equality_mixture(n, t)
+        mu = uniform_pairs(n)
+        assert mixture_expected_communication(mixture, mu) < n + 1

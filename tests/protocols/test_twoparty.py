@@ -1,0 +1,81 @@
+"""Tests for the two-party baselines."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import subset_code_width
+from repro.core import disjointness_task, run_protocol, set_to_mask
+from repro.protocols import (
+    TwoPartyDisjointnessProtocol,
+    TwoPartySparseIntersectionProtocol,
+)
+
+
+class TestTwoPartyDisjointness:
+    @pytest.mark.parametrize("n", [1, 3, 5])
+    def test_exhaustive(self, n):
+        p = TwoPartyDisjointnessProtocol(n)
+        task = disjointness_task(n, 2)
+        for a, b in itertools.product(range(1 << n), repeat=2):
+            assert run_protocol(p, (a, b)).output == task.evaluate((a, b))
+
+    def test_communication_is_n_plus_1(self):
+        n = 17
+        p = TwoPartyDisjointnessProtocol(n)
+        run = run_protocol(p, (3, 5))
+        assert run.bits_communicated == n + 1
+
+
+class TestSparseIntersection:
+    @settings(deadline=None, max_examples=50)
+    @given(st.data())
+    def test_computes_exact_intersection(self, data):
+        n = data.draw(st.integers(1, 30))
+        s = data.draw(st.integers(0, min(n, 6)))
+        alice = data.draw(st.sets(st.integers(0, n - 1), max_size=s))
+        bob_mask = data.draw(st.integers(0, (1 << n) - 1))
+        p = TwoPartySparseIntersectionProtocol(n, s)
+        a_mask = set_to_mask(alice, n)
+        run = run_protocol(p, (a_mask, bob_mask))
+        assert run.output == (a_mask & bob_mask)
+
+    def test_promise_violation_detected(self):
+        p = TwoPartySparseIntersectionProtocol(8, 2)
+        too_big = set_to_mask({0, 1, 2}, 8)
+        with pytest.raises(ValueError, match="promise"):
+            run_protocol(p, (too_big, 0))
+
+    def test_cost_scales_with_s_not_n_log_n(self):
+        """Alice's message is ~ log C(n, |X|) + O(log s) bits: for |X| = s
+        this is about s log2(n/s) + O(s), well below s log2(n) + header
+        for small s — the intro's 'no log factor' phenomenon."""
+        n, s = 1000, 5
+        p = TwoPartySparseIntersectionProtocol(n, s)
+        alice = set_to_mask(set(range(s)), n)
+        run = run_protocol(p, (alice, 0))
+        alice_bits = len(run.transcript[0].bits)
+        assert alice_bits <= subset_code_width(n, s) + 10
+
+    def test_empty_alice_set(self):
+        p = TwoPartySparseIntersectionProtocol(6, 3)
+        run = run_protocol(p, (0, 63))
+        assert run.output == 0
+        assert run.bits_communicated <= 4
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TwoPartySparseIntersectionProtocol(0, 0)
+        with pytest.raises(ValueError):
+            TwoPartySparseIntersectionProtocol(5, 6)
+
+    def test_disjointness_derivable_from_output(self):
+        p = TwoPartySparseIntersectionProtocol(10, 3)
+        a = set_to_mask({1, 5}, 10)
+        b = set_to_mask({5, 9}, 10)
+        assert run_protocol(p, (a, b)).output != 0  # they intersect
+        c = set_to_mask({0, 9}, 10)
+        assert run_protocol(p, (a, c)).output == 0  # disjoint

@@ -1,0 +1,125 @@
+"""Tests for the pointwise-OR / union protocol (the [24] extension)."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_protocol, union_task
+from repro.protocols import (
+    OptimalDisjointnessProtocol,
+    UnionProtocol,
+)
+
+
+class TestUnionCorrectness:
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 2), (3, 2), (2, 3), (3, 3)])
+    def test_exhaustive(self, n, k):
+        task = union_task(n, k)
+        protocol = UnionProtocol(n, k)
+        for inputs in itertools.product(range(1 << n), repeat=k):
+            run = run_protocol(protocol, inputs)
+            assert run.output == task.evaluate(inputs)
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.data())
+    def test_random(self, data):
+        n = data.draw(st.integers(1, 80))
+        k = data.draw(st.integers(1, 8))
+        inputs = tuple(
+            data.draw(st.integers(0, (1 << n) - 1)) for _ in range(k)
+        )
+        expected = 0
+        for mask in inputs:
+            expected |= mask
+        assert run_protocol(UnionProtocol(n, k), inputs).output == expected
+
+    def test_empty_union(self):
+        n, k = 40, 4
+        run = run_protocol(UnionProtocol(n, k), tuple([0] * k))
+        assert run.output == 0
+        # Nothing to announce: one all-pass cycle + one endgame all-pass
+        # cycle in the batch regime (n >= k^2), ~2k bits.
+        assert run.bits_communicated <= 2 * k
+
+    def test_full_union_batch_regime(self):
+        n, k = 64, 4
+        full = (1 << n) - 1
+        run = run_protocol(UnionProtocol(n, k), tuple([full] * k))
+        assert run.output == full
+
+
+class TestUnionCommunication:
+    def test_cost_bound_shape(self):
+        """Measured cost <= c1 n lg(ek) + c2 k lg n on the partition
+        input whose union is the whole universe."""
+        for n, k in [(512, 4), (1024, 8), (2048, 16)]:
+            inputs = tuple(
+                sum(1 << j for j in range(i, n, k)) for i in range(k)
+            )
+            run = run_protocol(UnionProtocol(n, k), inputs)
+            bound = 2.0 * n * math.log2(math.e * k) + 4.0 * k * math.log2(n)
+            assert run.bits_communicated <= bound, (n, k)
+
+    def test_cost_scales_with_union_size_not_n(self):
+        """A small union on a big universe costs about |union| log n +
+        O(k), not Omega(n)."""
+        n, k = 4096, 4
+        rng = random.Random(0)
+        union_coords = rng.sample(range(n), 8)
+        inputs = []
+        for i in range(k):
+            mask = 0
+            for c in union_coords[i::k]:
+                mask |= 1 << c
+            inputs.append(mask)
+        run = run_protocol(UnionProtocol(n, k), tuple(inputs))
+        expected_union = 0
+        for m in inputs:
+            expected_union |= m
+        assert run.output == expected_union
+        assert run.bits_communicated <= 8 * math.log2(n) * 2 + 4 * k
+
+    def test_disjointness_reduces_to_union(self):
+        """DISJ(X_1..X_k) = 1 iff the union of the complements is the
+        full universe — the classical reduction, checked against the
+        Section 5 protocol."""
+        n, k = 24, 3
+        rng = random.Random(1)
+        full = (1 << n) - 1
+        for _ in range(30):
+            masks = tuple(rng.randrange(1 << n) for _ in range(k))
+            complements = tuple(full ^ m for m in masks)
+            union = run_protocol(UnionProtocol(n, k), complements).output
+            disjoint = run_protocol(
+                OptimalDisjointnessProtocol(n, k), masks
+            ).output
+            assert disjoint == int(union == full)
+
+
+class TestUnionDiscipline:
+    def test_deterministic(self):
+        n, k = 100, 5
+        rng = random.Random(2)
+        inputs = tuple(rng.randrange(1 << n) for _ in range(k))
+        p = UnionProtocol(n, k)
+        assert (
+            run_protocol(p, inputs).transcript
+            == run_protocol(p, inputs).transcript
+        )
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            run_protocol(UnionProtocol(4, 2), (1 << 5, 0))
+
+    def test_replay_state_agrees(self):
+        n, k = 60, 3
+        rng = random.Random(3)
+        inputs = tuple(rng.randrange(1 << n) for _ in range(k))
+        p = UnionProtocol(n, k)
+        run = run_protocol(p, inputs)
+        replayed = p.replay_state(run.transcript)
+        assert p.output(replayed, run.transcript) == run.output
