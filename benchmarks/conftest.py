@@ -4,13 +4,23 @@ Each ``test_eN_*.py`` regenerates one experiment from DESIGN.md's
 index: it times a representative kernel with pytest-benchmark, runs the
 full experiment sweep once, asserts the paper's qualitative shape, and
 writes the rendered result table to ``benchmarks/results/EN.txt``.
+
+Every benchmark test additionally runs with the process-wide metrics
+registry enabled (the autouse ``obs_metrics`` fixture below): whatever
+counters/histograms the instrumented subsystems record during the test
+are rendered to ``benchmarks/results/metrics/<test>.txt``, so each
+experiment leaves behind a runtime-cost ledger next to its result table.
 """
 
 import os
+import re
 
 import pytest
 
+from repro.obs import REGISTRY, render_metrics
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+METRICS_DIR = os.path.join(RESULTS_DIR, "metrics")
 
 
 @pytest.fixture(scope="session")
@@ -26,3 +36,26 @@ def save_and_echo(table, directory):
     print()
     print(table.render())
     return path
+
+
+@pytest.fixture(autouse=True)
+def obs_metrics(request):
+    """Collect runtime metrics for the duration of each benchmark test
+    and persist the snapshot to ``results/metrics/<test>.txt``."""
+    was_enabled = REGISTRY.enabled
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    try:
+        yield REGISTRY
+    finally:
+        snapshot = REGISTRY.snapshot()
+        REGISTRY.enabled = was_enabled
+        REGISTRY.reset()
+        if not snapshot.empty:
+            os.makedirs(METRICS_DIR, exist_ok=True)
+            name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+            path = os.path.join(METRICS_DIR, f"{name}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    render_metrics(snapshot, title=request.node.name)
+                )

@@ -20,6 +20,9 @@ The library implements the paper's entire stack from scratch:
 * :mod:`repro.compression` — the Lemma 7 rejection-sampling message
   simulation, one-shot protocol compression, amortized n-fold compression
   (Theorem 3), and the information/communication gap instance.
+* :mod:`repro.obs` — structured tracing and runtime metrics for all of
+  the above (span/event tracers, labeled counters and log-scale
+  histograms, fixed-width metric reports; see docs/observability.md).
 
 Quick start::
 
@@ -44,4 +47,5 @@ __all__ = [
     "compression",
     "streaming",
     "experiments",
+    "obs",
 ]

@@ -62,6 +62,8 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from ..coding.varint import elias_gamma_length, zigzag_encode
 from ..information.distribution import DiscreteDistribution
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer, get_tracer
 
 __all__ = [
     "SamplingCost",
@@ -154,6 +156,46 @@ def lemma7_cost_bound(divergence: float, *, constant: float = 8.0) -> float:
 # ----------------------------------------------------------------------
 # Literal dart protocol (small universes).
 # ----------------------------------------------------------------------
+def _record_round(
+    tracer: Tracer,
+    path: str,
+    message: SampledMessage,
+    *,
+    darts_rejected: Optional[int] = None,
+) -> None:
+    """Shared observability tail for both sampler paths: one
+    ``sampler_round`` trace event plus the sampler counters/histograms
+    (``sampler_darts_rejected`` is only known on paths that enumerate
+    or simulate the dart sequence)."""
+    if tracer:
+        fields = dict(
+            path=path,
+            s=message.s,
+            block=message.block,
+            rank=message.rank,
+            candidates=message.candidate_count,
+            bits=message.cost.total_bits,
+        )
+        if darts_rejected is not None:
+            fields["darts_rejected"] = darts_rejected
+        tracer.event("sampler_round", **fields)
+    reg = REGISTRY if REGISTRY.enabled else None
+    if reg is not None:
+        reg.counter("sampler_rounds").inc(path=path)
+        if darts_rejected is not None:
+            reg.counter("sampler_darts_rejected").inc(
+                darts_rejected, path=path
+            )
+        reg.histogram("sampler_s").observe(message.s, path=path)
+        if message.candidate_count >= 0:
+            reg.histogram("sampler_candidates").observe(
+                message.candidate_count, path=path
+            )
+        reg.histogram("sampler_bits").observe(
+            message.cost.total_bits, path=path
+        )
+
+
 def run_naive_dart_protocol(
     eta: DiscreteDistribution,
     nu: DiscreteDistribution,
@@ -162,6 +204,7 @@ def run_naive_dart_protocol(
     *,
     max_darts: int = 10_000_000,
     block_limit: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> NaiveDartResult:
     """Play Lemma 7's scheme with an explicit shared dart sequence.
 
@@ -179,6 +222,8 @@ def run_naive_dart_protocol(
     failure probability ε at a worst-case block cost of
     :math:`O(\\log(1/\\epsilon))` bits.
     """
+    if tracer is None:
+        tracer = get_tracer()
     universe = list(universe)
     size = len(universe)
     if size < 1:
@@ -199,7 +244,21 @@ def run_naive_dart_protocol(
     while accepted_index is None:
         if len(darts) >= dart_budget:
             if block_limit is not None:
-                return _abort_result(eta, rng, block_limit)
+                result = _abort_result(eta, rng, block_limit)
+                reg = REGISTRY if REGISTRY.enabled else None
+                if reg is not None:
+                    reg.counter("sampler_aborts").inc(path="naive")
+                    reg.counter("sampler_darts_thrown").inc(
+                        len(darts), path="naive"
+                    )
+                if tracer:
+                    tracer.event(
+                        "sampler_abort",
+                        path="naive",
+                        block_limit=block_limit,
+                        darts_thrown=len(darts),
+                    )
+                return result
             raise RuntimeError(
                 f"no dart under eta within {max_darts} darts; universe too "
                 "large for the naive path"
@@ -252,6 +311,12 @@ def run_naive_dart_protocol(
     # Receiver side: knows the darts (shared randomness), B, s, rank.
     receiver_dart = candidates[rank - 1]
     receiver_value = darts[receiver_dart][0]
+    reg = REGISTRY if REGISTRY.enabled else None
+    if reg is not None:
+        reg.counter("sampler_darts_thrown").inc(len(darts), path="naive")
+    _record_round(
+        tracer, "naive", message, darts_rejected=accepted_index - 1
+    )
     return NaiveDartResult(
         message=message,
         receiver_value=receiver_value,
@@ -317,6 +382,7 @@ def simulate_sampling_round(
     universe: Optional[Sequence[Any]] = None,
     log_ratio: Optional[float] = None,
     value: Optional[Any] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SampledMessage:
     """Sample one Lemma 7 round from the exact joint law of everything
     the speaker communicates, without enumerating darts.
@@ -340,6 +406,8 @@ def simulate_sampling_round(
         :math:`\\log_2(\\eta(value)/\\nu(value))`; used by the amortized
         compressor, which samples product messages copy by copy.
     """
+    if tracer is None:
+        tracer = get_tracer()
     if (universe is None) == (universe_size is None):
         raise ValueError("pass exactly one of universe / universe_size")
     if universe is not None:
@@ -421,7 +489,7 @@ def simulate_sampling_round(
         ratio_bits=_ratio_bits(s),
         rank_bits=rank_bits,
     )
-    return SampledMessage(
+    message = SampledMessage(
         value=value,
         s=s,
         block=block,
@@ -429,6 +497,15 @@ def simulate_sampling_round(
         candidate_count=candidate_count,
         cost=cost,
     )
+    # The fast path never materializes darts, but the accepted index i is
+    # part of its joint law, so the implied rejection count is exact.
+    _record_round(
+        tracer,
+        "fast",
+        message,
+        darts_rejected=(i - 1) if small_universe else None,
+    )
+    return message
 
 
 # ----------------------------------------------------------------------

@@ -18,13 +18,16 @@ protocols where both are feasible.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..information.estimation import (
     bootstrap_interval,
     plugin_mutual_information,
 )
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer, get_tracer
 from .model import Protocol
 from .runner import run_protocol
 
@@ -48,6 +51,7 @@ def estimate_information_cost(
     rng: random.Random,
     trials: int = 2000,
     bootstrap_replicates: int = 100,
+    tracer: Optional[Tracer] = None,
 ) -> InformationEstimate:
     """Estimate the external information cost of ``protocol`` by
     sampling inputs from ``input_sampler`` and running the protocol.
@@ -55,24 +59,50 @@ def estimate_information_cost(
     The transcript is reduced to its raw bit string (sufficient: the
     speakers are board-determined), and the mutual information between
     input tuples and transcript strings is estimated.
+
+    Observability: the sampling loop emits ``mc_progress`` events (ten
+    per estimate) and feeds the ``mc_trials`` counter; the bootstrap is
+    wrapped in its own span and feeds ``mc_bootstrap_replicates`` plus
+    the ``mc_bootstrap_seconds`` gauge.
     """
     if trials < 2:
         raise ValueError(f"need at least 2 trials, got {trials}")
+    if tracer is None:
+        tracer = get_tracer()
+    reg = REGISTRY if REGISTRY.enabled else None
+    name = type(protocol).__name__
+    progress_every = max(trials // 10, 1)
     pairs = []
-    for _ in range(trials):
-        inputs = tuple(input_sampler(rng))
-        outcome = run_protocol(protocol, inputs, rng=rng)
-        pairs.append((inputs, outcome.transcript.bit_string()))
-    corrected = plugin_mutual_information(pairs, miller_madow=True)
-    plain = plugin_mutual_information(pairs)
-    lo, hi = bootstrap_interval(
-        pairs,
-        lambda resample: plugin_mutual_information(
-            resample, miller_madow=True
-        ),
-        rng=rng,
-        replicates=bootstrap_replicates,
-    )
+    with tracer.span(
+        "estimate_information_cost", protocol=name, trials=trials
+    ):
+        for trial in range(trials):
+            inputs = tuple(input_sampler(rng))
+            outcome = run_protocol(protocol, inputs, rng=rng, tracer=tracer)
+            pairs.append((inputs, outcome.transcript.bit_string()))
+            if tracer and (trial + 1) % progress_every == 0:
+                tracer.event("mc_progress", done=trial + 1, total=trials)
+        if reg is not None:
+            reg.counter("mc_trials").inc(trials, protocol=name)
+        corrected = plugin_mutual_information(pairs, miller_madow=True)
+        plain = plugin_mutual_information(pairs)
+        bootstrap_started = time.perf_counter()
+        with tracer.span("bootstrap", replicates=bootstrap_replicates):
+            lo, hi = bootstrap_interval(
+                pairs,
+                lambda resample: plugin_mutual_information(
+                    resample, miller_madow=True
+                ),
+                rng=rng,
+                replicates=bootstrap_replicates,
+            )
+        if reg is not None:
+            reg.counter("mc_bootstrap_replicates").inc(
+                bootstrap_replicates, protocol=name
+            )
+            reg.gauge("mc_bootstrap_seconds").set(
+                time.perf_counter() - bootstrap_started, protocol=name
+            )
     return InformationEstimate(
         estimate=corrected,
         plugin=plain,

@@ -31,6 +31,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..information.distribution import DiscreteDistribution, JointDistribution
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer, get_tracer
 from .model import Message, Protocol, ProtocolViolation, Transcript
 
 __all__ = [
@@ -51,26 +53,42 @@ def transcript_distribution(
     inputs: Sequence[Any],
     *,
     max_messages: int = DEFAULT_MAX_MESSAGES,
+    tracer: Optional[Tracer] = None,
 ) -> DiscreteDistribution:
     """The exact law of the transcript ``Π(inputs)`` over private coins.
 
     For a deterministic protocol this is a point mass.  The walk is a DFS
     over the protocol tree, so its cost is the number of reachable
     (transcript prefix) nodes under this input.
+
+    Observability: each call emits one ``tree_enumerated`` trace event
+    summarizing the walk (nodes expanded, leaves, max depth) and feeds
+    the ``tree_nodes_expanded`` / ``tree_leaves`` counters plus the
+    ``tree_depth`` / ``tree_support`` histograms.  Per-node events are
+    deliberately not emitted — tree sizes are exponential and a trace
+    must stay proportional to the number of *calls*, not nodes.
     """
+    if tracer is None:
+        tracer = get_tracer()
+    reg = REGISTRY if REGISTRY.enabled else None
     protocol.validate_inputs(inputs)
     leaves: Dict[Transcript, float] = {}
+    nodes_expanded = 0
+    max_depth = 0
     # Stack entries: (state, board, probability-so-far).
     stack: List[Tuple[Any, Transcript, float]] = [
         (protocol.initial_state(), Transcript(), 1.0)
     ]
     while stack:
         state, board, prob = stack.pop()
+        nodes_expanded += 1
         if len(board) > max_messages:
             raise ProtocolViolation(
                 f"protocol exceeded {max_messages} messages during exact "
                 "enumeration"
             )
+        if len(board) > max_depth:
+            max_depth = len(board)
         speaker = protocol.next_speaker(state, board)
         if speaker is None:
             leaves[board] = leaves.get(board, 0.0) + prob
@@ -93,6 +111,20 @@ def transcript_distribution(
                     prob * p,
                 )
             )
+    if tracer:
+        tracer.event(
+            "tree_enumerated",
+            protocol=type(protocol).__name__,
+            nodes=nodes_expanded,
+            leaves=len(leaves),
+            max_depth=max_depth,
+        )
+    if reg is not None:
+        name = type(protocol).__name__
+        reg.counter("tree_nodes_expanded").inc(nodes_expanded, protocol=name)
+        reg.counter("tree_leaves").inc(len(leaves), protocol=name)
+        reg.histogram("tree_depth").observe(max_depth, protocol=name)
+        reg.histogram("tree_support").observe(len(leaves), protocol=name)
     return DiscreteDistribution(leaves, normalize=True)
 
 
@@ -103,6 +135,7 @@ def joint_transcript_distribution(
     *,
     names: Optional[Sequence[str]] = None,
     max_messages: int = DEFAULT_MAX_MESSAGES,
+    tracer: Optional[Tracer] = None,
 ) -> JointDistribution:
     """The exact joint law of ``(scenario components..., transcript)``.
 
@@ -129,12 +162,16 @@ def joint_transcript_distribution(
     """
     if inputs_of is None:
         inputs_of = lambda scenario: scenario[0]  # noqa: E731
+    if tracer is None:
+        tracer = get_tracer()
 
     probs: Dict[Tuple[Any, ...], float] = {}
     # Distinct scenarios may share an input tuple (e.g. different values
     # of the auxiliary variable D for the same X); cache per input tuple.
     cache: Dict[Any, DiscreteDistribution] = {}
+    scenario_count = 0
     for scenario, p_scenario in scenarios.items():
+        scenario_count += 1
         if not isinstance(scenario, tuple):
             raise TypeError(
                 f"scenario outcomes must be tuples, got {scenario!r}"
@@ -144,12 +181,20 @@ def joint_transcript_distribution(
         transcripts = cache.get(key)
         if transcripts is None:
             transcripts = transcript_distribution(
-                protocol, inputs, max_messages=max_messages
+                protocol, inputs, max_messages=max_messages, tracer=tracer
             )
             cache[key] = transcripts
         for transcript, p_transcript in transcripts.items():
             outcome = scenario + (transcript,)
             probs[outcome] = probs.get(outcome, 0.0) + p_scenario * p_transcript
+    if tracer:
+        tracer.event(
+            "joint_enumerated",
+            protocol=type(protocol).__name__,
+            scenarios=scenario_count,
+            distinct_inputs=len(cache),
+            outcomes=len(probs),
+        )
     full_names = None
     if names is not None:
         full_names = tuple(names) + ("transcript",)

@@ -7,8 +7,16 @@ Usage::
     python -m repro.experiments all        # run everything
     python -m repro.experiments all --save results/   # also write tables
 
+    # Observability (see docs/observability.md):
+    python -m repro.experiments E2 --trace out.jsonl   # JSONL trace stream
+    python -m repro.experiments E7 --metrics           # per-experiment metrics
+
 Each experiment prints its rendered table (the same table the benchmark
-harness writes to ``benchmarks/results/``).
+harness writes to ``benchmarks/results/``).  With ``--trace`` every
+instrumented subsystem (runner, exact analyzer, samplers, Monte-Carlo)
+streams structured events to the given JSONL file; with ``--metrics``
+the process-wide registry is enabled and a counters/timing table is
+printed after each experiment.
 """
 
 from __future__ import annotations
@@ -20,6 +28,13 @@ import time
 from . import ALL_EXPERIMENTS
 
 
+def _id_range() -> str:
+    """Human-readable id range derived from the registry (never goes
+    stale when experiments are added)."""
+    order = sorted(ALL_EXPERIMENTS, key=_experiment_order)
+    return f"{order[0]}..{order[-1]}"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -29,12 +44,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E11) or 'all'; empty lists them",
+        help=f"experiment ids ({_id_range()}) or 'all'; empty lists them",
     )
     parser.add_argument(
         "--save",
         metavar="DIR",
         help="also write each rendered table to DIR/<id>.txt",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream structured trace events (runner messages, tree "
+             "enumeration, sampler rounds, ...) to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect runtime metrics and print a per-experiment "
+             "counters/timing table",
     )
     args = parser.parse_args(argv)
 
@@ -52,16 +79,49 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
 
-    for eid in selected:
-        eid = eid.upper()
-        started = time.monotonic()
-        table = ALL_EXPERIMENTS[eid]()
-        elapsed = time.monotonic() - started
-        print(table.render())
-        print(f"({eid} completed in {elapsed:.1f}s)\n")
-        if args.save:
-            path = table.save(args.save)
-            print(f"saved to {path}\n")
+    # Observability is imported lazily so the plain path stays untouched.
+    from ..obs import (
+        JsonlTracer,
+        REGISTRY,
+        disable_metrics,
+        enable_metrics,
+        render_metrics,
+        set_tracer,
+        using_tracer,
+    )
+
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    try:
+        with using_tracer(tracer):
+            for eid in selected:
+                eid = eid.upper()
+                if args.metrics:
+                    enable_metrics(reset=True)
+                if tracer:
+                    tracer.event("experiment_start", experiment=eid)
+                started = time.monotonic()
+                table = ALL_EXPERIMENTS[eid]()
+                elapsed = time.monotonic() - started
+                if tracer:
+                    tracer.event(
+                        "experiment_finish", experiment=eid, elapsed_s=elapsed
+                    )
+                print(table.render())
+                if args.metrics:
+                    REGISTRY.gauge("experiment_seconds").set(
+                        elapsed, experiment=eid
+                    )
+                    print(render_metrics(REGISTRY, title=f"{eid} metrics"))
+                    disable_metrics()
+                print(f"({eid} completed in {elapsed:.1f}s)\n")
+                if args.save:
+                    path = table.save(args.save)
+                    print(f"saved to {path}\n")
+    finally:
+        if tracer:
+            tracer.close()
+            print(f"trace written to {args.trace}")
+        set_tracer(None)
     return 0
 
 

@@ -1,0 +1,134 @@
+"""Render a metrics snapshot as fixed-width text tables.
+
+Same visual grammar as :mod:`repro.experiments.tables` (aligned columns,
+dashed header rule, right-justified numeric cells) so a metrics report
+reads like any experiment table.  Implemented locally rather than via
+:class:`~repro.experiments.tables.ExperimentTable` to keep ``repro.obs``
+import-free of the experiment layer (which itself imports the
+instrumented subsystems — the dependency must point one way only).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Union
+
+from .metrics import (
+    HistogramValue,
+    LabelKey,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+__all__ = ["render_metrics", "render_table"]
+
+
+def render_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """One aligned table: header left-justified, body right-justified,
+    floats shortened to 4 significant digits — the `experiments.tables`
+    conventions."""
+    cells: List[List[str]] = [list(map(str, columns))]
+    for row in rows:
+        cells.append(
+            [
+                f"{value:.4g}" if isinstance(value, float) else str(value)
+                for value in row
+            ]
+        )
+    widths = [max(len(row[i]) for row in cells) for i in range(len(columns))]
+    header, *body = cells
+    lines = [title]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _format_number(value: float) -> Union[int, float]:
+    return int(value) if float(value).is_integer() else float(value)
+
+
+def _bucket_bound(bucket: Optional[int]) -> str:
+    if bucket is None:
+        return "<=0"
+    return f"<=2^{bucket}"
+
+
+def render_metrics(
+    source: Union[MetricsRegistry, MetricsSnapshot], *, title: str = "metrics"
+) -> str:
+    """Render every non-empty counter/gauge/histogram series of a
+    registry (or a snapshot of one) as aligned text tables."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    if snapshot.empty:
+        return f"[{title}] (no series recorded)\n"
+
+    sections: List[str] = []
+    if snapshot.counters:
+        rows = [
+            (name, _format_labels(key), _format_number(value))
+            for name in sorted(snapshot.counters)
+            for key, value in sorted(snapshot.counters[name].items())
+        ]
+        sections.append(
+            render_table("counters", ["counter", "labels", "value"], rows)
+        )
+    if snapshot.gauges:
+        rows = [
+            (name, _format_labels(key), float(value))
+            for name in sorted(snapshot.gauges)
+            for key, value in sorted(snapshot.gauges[name].items())
+        ]
+        sections.append(
+            render_table("gauges", ["gauge", "labels", "value"], rows)
+        )
+    if snapshot.histograms:
+        rows = []
+        for name in sorted(snapshot.histograms):
+            for key, state in sorted(snapshot.histograms[name].items()):
+                rows.append(
+                    (
+                        name,
+                        _format_labels(key),
+                        state.count,
+                        float(state.mean) if state.count else "-",
+                        _format_number(state.min) if state.count else "-",
+                        _format_number(state.max) if state.count else "-",
+                        _bucket_summary(state),
+                    )
+                )
+        sections.append(
+            render_table(
+                "histograms (log2 buckets)",
+                ["histogram", "labels", "count", "mean", "min", "max", "p~50"],
+                rows,
+            )
+        )
+    body = "\n\n".join(sections)
+    return f"[{title}]\n\n{body}\n"
+
+
+def _bucket_summary(state: HistogramValue) -> str:
+    """The log-2 bucket containing the median observation — a one-cell
+    summary of where the distribution sits."""
+    if not state.count:
+        return "-"
+    half = state.count / 2.0
+    seen = 0
+    ordering = sorted(
+        state.buckets, key=lambda b: -math.inf if b is None else b
+    )
+    for bucket in ordering:
+        seen += state.buckets[bucket]
+        if seen >= half:
+            return _bucket_bound(bucket)
+    return _bucket_bound(ordering[-1])

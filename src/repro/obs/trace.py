@@ -1,0 +1,308 @@
+"""Structured tracing for the protocol runtime.
+
+The reproduction's hot subsystems — the concrete runner, the exact tree
+analyzer, the Lemma 7 samplers, and the Monte-Carlo estimator — accept a
+:class:`Tracer` and emit *events* (one structured record each) and
+*spans* (begin/end pairs carrying wall-clock duration).  The design
+mirrors how the paper (and its message-passing follow-up,
+arXiv:1305.4696) accounts information per message and per round: every
+event names the speaker, the bits charged, and the round index, so a
+trace is a bit-level ledger of where communication went.
+
+Three tracers:
+
+* :class:`NullTracer` — the default.  It is *falsy*, and every
+  instrumented hot path guards its emission code with ``if tracer:``, so
+  with tracing disabled the per-message cost is a single truth test — no
+  method call, no dict allocation.  That is the "provably zero overhead"
+  contract, and the regression tests assert traced and untraced runs
+  produce identical results.
+* :class:`RecordingTracer` — appends events to an in-memory list;
+  the tool of choice for tests and programmatic inspection.
+* :class:`JsonlTracer` — streams each event as one JSON line to a file,
+  the format consumed by ``python -m repro.experiments EN --trace f``.
+  :func:`read_trace` loads such a file back into event objects.
+
+A process-wide default tracer can be installed with :func:`set_tracer`
+or the :func:`using_tracer` context manager; instrumented functions
+resolve ``tracer=None`` to the global default, so the CLI can trace an
+entire experiment without threading a tracer through every call site.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "read_trace",
+    "get_tracer",
+    "set_tracer",
+    "using_tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``kind`` is ``"event"`` for point events, ``"begin"``/``"end"`` for
+    span boundaries.  ``span`` is the span id the record belongs to (its
+    own id for begin/end records).  ``ts`` is a monotonic timestamp in
+    seconds (``time.perf_counter``), suitable for intra-trace deltas
+    only.
+    """
+
+    name: str
+    kind: str = "event"
+    span: Optional[int] = None
+    ts: float = 0.0
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "ts": self.ts,
+        }
+        if self.span is not None:
+            record["span"] = self.span
+        if self.fields:
+            record["fields"] = self.fields
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            name=record["name"],
+            kind=record.get("kind", "event"),
+            span=record.get("span"),
+            ts=record.get("ts", 0.0),
+            fields=dict(record.get("fields", {})),
+        )
+
+
+class Tracer:
+    """Base tracer: collects events via :meth:`emit`.
+
+    Subclasses override :meth:`emit`.  Real tracers are truthy; the
+    :class:`NullTracer` is falsy, which is what lets hot paths skip all
+    emission work with a bare ``if tracer:``.
+    """
+
+    def __init__(self) -> None:
+        self._next_span = 0
+        self._span_stack: List[int] = []
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return True
+
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point event inside the current span (if any)."""
+        span = self._span_stack[-1] if self._span_stack else None
+        self.emit(
+            TraceEvent(
+                name=name,
+                kind="event",
+                span=span,
+                ts=time.perf_counter(),
+                fields=fields,
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[int]:
+        """A begin/end pair; the end record carries ``elapsed_s``.
+
+        Extra fields may be attached to the end record by mutating the
+        dict returned by :meth:`span_fields` — or more simply by emitting
+        events inside the span.
+        """
+        span_id = self._next_span
+        self._next_span += 1
+        started = time.perf_counter()
+        self.emit(
+            TraceEvent(
+                name=name,
+                kind="begin",
+                span=span_id,
+                ts=started,
+                fields=fields,
+            )
+        )
+        self._span_stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._span_stack.pop()
+            ended = time.perf_counter()
+            self.emit(
+                TraceEvent(
+                    name=name,
+                    kind="end",
+                    span=span_id,
+                    ts=ended,
+                    fields={"elapsed_s": ended - started},
+                )
+            )
+
+    def close(self) -> None:
+        """Release any resources (file handles); idempotent."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The do-nothing default.  Falsy, so ``if tracer:`` guards compile
+    the entire emission path away; its methods are no-ops regardless, so
+    passing it explicitly is also safe."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[int]:
+        yield -1
+
+
+#: Shared singleton; there is never a reason to construct more.
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in memory (``.events``)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """All events with the given name, in emission order."""
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value to something ``json.dumps`` accepts; rich
+    objects (transcripts, protocols) degrade to ``str``."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class JsonlTracer(Tracer):
+    """Streams events to a JSONL file (one JSON object per line)."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        super().__init__()
+        if isinstance(destination, str):
+            self._handle: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self._closed = False
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise ValueError("tracer is closed")
+        record = event.to_dict()
+        if "fields" in record:
+            record["fields"] = {
+                k: _jsonable(v) for k, v in record["fields"].items()
+            }
+        self._handle.write(json.dumps(record, separators=(",", ":")))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+def read_trace(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    """Load a JSONL trace written by :class:`JsonlTracer`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_trace(handle)
+    events = []
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Process-wide default tracer.
+# ----------------------------------------------------------------------
+_GLOBAL_TRACER: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (:data:`NULL_TRACER` unless one
+    was installed)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` as the process-wide default; ``None`` restores
+    the :class:`NullTracer`.  Returns the previous default."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def using_tracer(tracer: Optional[Tracer]) -> Iterator[Tracer]:
+    """Temporarily install a default tracer (restored on exit)."""
+    previous = set_tracer(tracer)
+    try:
+        yield get_tracer()
+    finally:
+        set_tracer(previous)

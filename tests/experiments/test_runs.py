@@ -118,6 +118,37 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["E99"])
 
+    def test_help_id_range_tracks_registry(self):
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.experiments.__main__ import _id_range
+
+        assert _id_range() == f"E1..E{len(ALL_EXPERIMENTS)}"
+
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+        from repro.obs import NullTracer, get_tracer, read_trace
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["E8", "--trace", str(path)]) == 0
+        events = read_trace(str(path))
+        names = {e.name for e in events}
+        assert "experiment_start" in names
+        assert "experiment_finish" in names
+        assert "sampler_round" in names  # E8 plays the dart protocol
+        # The global tracer is uninstalled again after the run.
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_metrics_flag_prints_counters(self, capsys):
+        from repro.experiments.__main__ import main
+        from repro.obs import REGISTRY
+
+        assert main(["E8", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "[E8 metrics]" in out
+        assert "sampler_darts_rejected" in out
+        assert "experiment_seconds" in out
+        assert not REGISTRY.enabled  # collection turned back off
+
 
 class TestE13:
     def test_reduced_run(self):

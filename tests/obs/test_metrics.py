@@ -1,0 +1,186 @@
+"""Metrics registry semantics: enable gating, labeled series, and the
+log-2 histogram bucket math."""
+
+import math
+
+import pytest
+
+from repro.obs import REGISTRY, MetricsRegistry, collecting
+from repro.obs.metrics import bucket_index
+
+
+class TestEnableGating:
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(3)
+        snapshot = reg.snapshot()
+        assert snapshot.empty
+
+    def test_enabled_registry_records(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(5)
+        assert reg.counter("c").value() == 5
+        assert not reg.snapshot().empty
+
+    def test_process_registry_disabled_by_default(self):
+        assert REGISTRY.enabled is False
+
+    def test_collecting_scopes_enablement(self):
+        assert not REGISTRY.enabled
+        with collecting() as reg:
+            assert reg is REGISTRY
+            assert reg.enabled
+            reg.counter("scoped").inc()
+        assert not REGISTRY.enabled
+
+    def test_collecting_resets_by_default(self):
+        with collecting() as reg:
+            reg.counter("first_pass").inc()
+        with collecting() as reg:
+            assert reg.counter("first_pass").value() == 0
+
+
+class TestCounter:
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry(enabled=True)
+        counter = reg.counter("bits_written")
+        counter.inc(10, protocol="seq", k=4)
+        counter.inc(7, protocol="seq", k=8)
+        counter.inc(1, protocol="naive", k=4)
+        assert counter.value(protocol="seq", k=4) == 10
+        assert counter.value(protocol="seq", k=8) == 7
+        assert counter.total() == 18
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry(enabled=True)
+        counter = reg.counter("c")
+        counter.inc(1, a=1, b=2)
+        counter.inc(1, b=2, a=1)
+        assert counter.value(a=1, b=2) == 2
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry(enabled=True)
+        gauge = reg.gauge("elapsed")
+        gauge.set(1.0, experiment="E1")
+        gauge.set(2.5, experiment="E1")
+        assert gauge.value(experiment="E1") == 2.5
+
+    def test_missing_series_is_none(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.gauge("g").value(experiment="E9") is None
+
+
+class TestBucketIndex:
+    def test_nonpositive_goes_to_sentinel(self):
+        assert bucket_index(0) is None
+        assert bucket_index(-3.5) is None
+
+    def test_exact_powers_land_on_their_exponent(self):
+        # Bucket e covers (2^(e-1), 2^e]: the bound itself is included.
+        for e in (-3, -1, 0, 1, 2, 10, 40):
+            assert bucket_index(2.0**e) == e
+
+    def test_open_lower_bound(self):
+        # Just above a power of two falls into the next bucket.
+        assert bucket_index(4.0) == 2
+        assert bucket_index(4.000001) == 3
+        assert bucket_index(5) == 3
+        assert bucket_index(8) == 3
+
+    def test_fractional_values(self):
+        assert bucket_index(0.75) == 0      # (1/2, 1]
+        assert bucket_index(0.5) == -1      # (1/4, 1/2]
+        assert bucket_index(0.3) == -1
+
+    def test_one(self):
+        assert bucket_index(1) == 0
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("message_bits")
+        for v in (1, 2, 3, 4, 100):
+            hist.observe(v)
+        state = hist.value()
+        assert state.count == 5
+        assert state.sum == 110
+        assert state.min == 1
+        assert state.max == 100
+        assert state.mean == 22.0
+
+    def test_bucket_counts(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("h")
+        for v in (1, 2, 3, 4, 100, 0):
+            hist.observe(v)
+        state = hist.value()
+        assert state.buckets[0] == 1        # {1}
+        assert state.buckets[1] == 1        # {2}
+        assert state.buckets[2] == 2        # {3, 4}
+        assert state.buckets[7] == 1        # {100} in (64, 128]
+        assert state.buckets[None] == 1     # {0}
+
+    def test_labeled_histograms(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("sampler_bits")
+        hist.observe(4, path="naive")
+        hist.observe(16, path="fast")
+        assert hist.value(path="naive").count == 1
+        assert hist.value(path="fast").max == 16
+
+    def test_empty_mean_is_nan(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h").observe(1, path="x")
+        state = reg.histogram("h").value(path="missing")
+        assert state is None
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_decoupled(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(1)
+        reg.histogram("h").observe(2)
+        snapshot = reg.snapshot()
+        reg.counter("c").inc(10)
+        reg.histogram("h").observe(64)
+        assert snapshot.counters["c"][()] == 1
+        assert snapshot.histograms["h"][()].count == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(3)
+        reg.reset()
+        assert reg.snapshot().empty
+        assert reg.counter("c").value() == 0
+
+    def test_snapshot_skips_empty_series(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("never_touched")
+        snapshot = reg.snapshot()
+        assert "never_touched" not in snapshot.counters
+
+    def test_math_nan_guard(self):
+        # HistogramValue.mean on a fresh state is NaN, never a crash.
+        from repro.obs import HistogramValue
+
+        assert math.isnan(HistogramValue().mean)

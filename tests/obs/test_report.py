@@ -1,0 +1,71 @@
+"""Rendering metrics snapshots as fixed-width tables."""
+
+from repro.obs import MetricsRegistry, render_metrics, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(
+            "counters", ["name", "value"], [("bits", 12), ("x", 3)]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "counters"
+        # Header, rule, and body rows all pad to one fixed width.
+        assert len({len(line) for line in lines[1:]}) == 1
+        assert lines[2] == "----  -----"  # name=4 wide, value=5 wide
+
+    def test_floats_shortened(self):
+        text = render_table("t", ["v"], [(0.123456789,)])
+        assert "0.1235" in text
+        assert "0.123456789" not in text
+
+
+class TestRenderMetrics:
+    def test_empty_registry(self):
+        reg = MetricsRegistry(enabled=True)
+        assert "no series recorded" in render_metrics(reg)
+
+    def test_counters_section(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("sampler_darts_rejected").inc(17, path="naive")
+        text = render_metrics(reg)
+        assert "counters" in text
+        assert "sampler_darts_rejected" in text
+        assert "path=naive" in text
+        assert "17" in text
+
+    def test_all_sections_present(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(1)
+        reg.gauge("g").set(2.5, experiment="E1")
+        reg.histogram("h").observe(7)
+        text = render_metrics(reg, title="E1 metrics")
+        assert text.startswith("[E1 metrics]")
+        assert "counters" in text
+        assert "gauges" in text
+        assert "histograms (log2 buckets)" in text
+        assert "experiment=E1" in text
+
+    def test_unlabeled_series_rendered_as_dash(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("plain").inc(2)
+        lines = [
+            l for l in render_metrics(reg).splitlines() if "plain" in l
+        ]
+        assert lines and "-" in lines[0]
+
+    def test_histogram_row_contents(self):
+        reg = MetricsRegistry(enabled=True)
+        hist = reg.histogram("message_bits")
+        for v in (1, 1, 2, 4, 4, 4):
+            hist.observe(v)
+        text = render_metrics(reg)
+        # count, mean, min, max and a median bucket all appear.
+        assert "6" in text
+        # Cumulative counts reach half (3 of 6) inside the (1, 2] bucket.
+        assert "<=2^1" in text
+
+    def test_snapshot_and_registry_render_identically(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(4, k="2")
+        assert render_metrics(reg) == render_metrics(reg.snapshot())

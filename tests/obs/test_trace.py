@@ -1,0 +1,199 @@
+"""Tracer semantics: the NullTracer contract, recording, JSONL
+round-trip, and the process-wide default."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlTracer,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    using_tracer,
+)
+
+
+class TestNullTracer:
+    def test_falsy(self):
+        # Hot paths guard emission with `if tracer:` — falsiness IS the
+        # zero-overhead contract.
+        assert not NULL_TRACER
+        assert not NullTracer()
+
+    def test_real_tracers_truthy(self):
+        assert RecordingTracer()
+
+    def test_event_is_noop(self):
+        NULL_TRACER.event("anything", speaker=3, bits=7)
+
+    def test_span_is_noop_context(self):
+        with NULL_TRACER.span("outer", protocol="p") as span_id:
+            assert span_id == -1
+            NULL_TRACER.event("inner")
+
+    def test_close_idempotent(self):
+        NULL_TRACER.close()
+        NULL_TRACER.close()
+
+
+class TestRecordingTracer:
+    def test_events_captured_in_order(self):
+        tracer = RecordingTracer()
+        tracer.event("a", x=1)
+        tracer.event("b", y=2)
+        assert [e.name for e in tracer.events] == ["a", "b"]
+        assert tracer.events[0].fields == {"x": 1}
+
+    def test_named_filter(self):
+        tracer = RecordingTracer()
+        tracer.event("keep", n=1)
+        tracer.event("drop")
+        tracer.event("keep", n=2)
+        assert [e.fields["n"] for e in tracer.named("keep")] == [1, 2]
+
+    def test_span_emits_begin_end_with_elapsed(self):
+        tracer = RecordingTracer()
+        with tracer.span("work", label="w"):
+            tracer.event("inside")
+        begin, inside, end = tracer.events
+        assert (begin.name, begin.kind) == ("work", "begin")
+        assert begin.fields == {"label": "w"}
+        assert (end.name, end.kind) == ("work", "end")
+        assert end.fields["elapsed_s"] >= 0.0
+        assert begin.span == end.span
+        # The inner event is attributed to the enclosing span.
+        assert inside.span == begin.span
+
+    def test_nested_spans_get_distinct_ids(self):
+        tracer = RecordingTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("deep")
+        spans = {e.span for e in tracer.events if e.kind == "begin"}
+        assert len(spans) == 2
+        deep = tracer.named("deep")[0]
+        inner_id = [e for e in tracer.events if e.name == "inner"][0].span
+        assert deep.span == inner_id
+
+    def test_span_closes_on_exception(self):
+        tracer = RecordingTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.events[-1].kind == "end"
+        tracer.event("after")
+        assert tracer.events[-1].span is None
+
+    def test_clear(self):
+        tracer = RecordingTracer()
+        tracer.event("x")
+        tracer.clear()
+        assert tracer.events == []
+
+
+class TestJsonlTracer:
+    def test_valid_jsonl_one_object_per_line(self):
+        buffer = io.StringIO()
+        tracer = JsonlTracer(buffer)
+        tracer.event("message", speaker=0, bits=3)
+        with tracer.span("run"):
+            tracer.event("inner")
+        tracer.close()
+        lines = [l for l in buffer.getvalue().splitlines() if l]
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)  # every line parses
+
+    def test_round_trip(self):
+        buffer = io.StringIO()
+        tracer = JsonlTracer(buffer)
+        tracer.event("message", speaker=2, bits=5, cumulative_bits=9)
+        with tracer.span("run_protocol", protocol="SeqAnd"):
+            pass
+        tracer.close()
+        buffer.seek(0)
+        events = read_trace(buffer)
+        assert [e.name for e in events] == [
+            "message", "run_protocol", "run_protocol",
+        ]
+        assert events[0].fields == {
+            "speaker": 2, "bits": 5, "cumulative_bits": 9,
+        }
+        assert events[1].kind == "begin"
+        assert events[2].kind == "end"
+        assert events[1].span == events[2].span
+
+    def test_rich_values_degrade_to_str(self):
+        buffer = io.StringIO()
+        tracer = JsonlTracer(buffer)
+        tracer.event("run_complete", output=object(), pair=(1, "a"))
+        tracer.close()
+        buffer.seek(0)
+        (event,) = read_trace(buffer)
+        assert isinstance(event.fields["output"], str)
+        assert event.fields["pair"] == [1, "a"]
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = JsonlTracer(path)
+        tracer.event("a", n=1)
+        tracer.event("b", n=2)
+        tracer.close()
+        events = read_trace(path)
+        assert [e.fields["n"] for e in events] == [1, 2]
+
+    def test_emit_after_close_rejected(self):
+        tracer = JsonlTracer(io.StringIO())
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.event("late")
+
+    def test_close_idempotent(self, tmp_path):
+        tracer = JsonlTracer(str(tmp_path / "t.jsonl"))
+        tracer.close()
+        tracer.close()
+
+
+class TestTraceEvent:
+    def test_dict_round_trip(self):
+        event = TraceEvent(
+            name="x", kind="begin", span=4, ts=1.5, fields={"a": 1}
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_defaults(self):
+        event = TraceEvent.from_dict({"name": "bare"})
+        assert event.kind == "event"
+        assert event.span is None
+        assert event.fields == {}
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_set_and_restore(self):
+        tracer = RecordingTracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_using_tracer_restores_on_exit(self):
+        tracer = RecordingTracer()
+        with using_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_using_tracer_none_installs_null(self):
+        with using_tracer(None) as active:
+            assert isinstance(active, NullTracer)
