@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Perf-regression checker for the repro's hot kernels.
+
+Re-times a small set of representative kernels (batched tree
+enumeration, the fast bootstrap, one E1 grid point, the E1 sweep serial
+vs parallel) and compares them against ``benchmarks/perf_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare_perf.py             # check
+    PYTHONPATH=src python benchmarks/compare_perf.py --update    # reseed
+    PYTHONPATH=src python benchmarks/compare_perf.py --tolerance 3
+
+A kernel fails the check when it runs slower than
+``tolerance × calibrated baseline``.  Calibration: the baseline stores
+the timing of a fixed pure-Python workload alongside the kernels; at
+check time the same workload is re-timed and every baseline figure is
+scaled by the observed machine-speed ratio, so a baseline seeded on one
+machine transfers to faster/slower hardware without false alarms.  The
+default tolerance (2×) is deliberately generous — this harness exists to
+catch algorithmic regressions (a kernel going quadratic), not scheduler
+noise.
+
+The E1 serial-vs-parallel speedup is *recorded* (with the machine's CPU
+count) but only *enforced* when the checking machine has at least 4
+CPUs — on fewer cores a process pool cannot win wall-clock and the
+number documents that honestly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+
+#: Enforce the parallel-speedup floor only on machines where a pool can
+#: actually win, and only when the sweep is heavy enough that worker
+#: startup cannot dominate.
+MIN_CPUS_FOR_SPEEDUP_CHECK = 4
+MIN_SERIAL_SECONDS_FOR_SPEEDUP_CHECK = 1.0
+SPEEDUP_FLOOR = 2.0
+
+#: The experiment's own default sweep (~2 s serial on the seed machine).
+E1_GRID = (
+    (64, 4), (256, 4), (1024, 4),
+    (256, 8), (1024, 8), (2048, 8),
+    (1024, 16), (2048, 16),
+    (1024, 32), (2048, 64),
+)
+
+
+def best_of(fn, repeats=3):
+    """Minimum wall-clock of ``repeats`` runs — the least-noisy estimator
+    for a cold-cache-free kernel."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def calibration_workload():
+    """A fixed, dependency-free workload whose timing tracks the
+    machine's single-thread Python throughput."""
+    acc = 0.0
+    for i in range(1, 200_001):
+        acc += (i % 7) * 0.5 - (i % 3)
+    return acc
+
+
+def kernel_tree_batched_and8():
+    from repro.core import joint_transcript_distribution
+    from repro.lowerbounds.hard_distribution import and_hard_distribution
+    from repro.protocols import SequentialAndProtocol
+
+    joint_transcript_distribution(
+        SequentialAndProtocol(8), and_hard_distribution(8)
+    )
+
+
+def kernel_fast_bootstrap():
+    from repro.information.estimation import (
+        bootstrap_mutual_information_interval,
+    )
+
+    rng = random.Random(6)
+    pairs = []
+    for _ in range(400):
+        x = tuple(rng.randrange(2) for _ in range(8))
+        t = "".join(str(b) for b in x[: rng.randrange(1, 8)])
+        pairs.append((x, t))
+    bootstrap_mutual_information_interval(
+        pairs, rng=random.Random(0), replicates=60
+    )
+
+
+def kernel_e1_grid_point():
+    from repro.experiments.e1_disjointness_scaling import measure_point
+
+    measure_point(1024, 8)
+
+
+def kernel_closed_form_cic():
+    from repro.lowerbounds.analytic import sequential_and_cic_closed_form
+
+    sequential_and_cic_closed_form(65536)
+
+
+KERNELS = {
+    "tree_batched_and8": kernel_tree_batched_and8,
+    "fast_bootstrap": kernel_fast_bootstrap,
+    "e1_grid_point": kernel_e1_grid_point,
+    "closed_form_cic_k65536": kernel_closed_form_cic,
+}
+
+
+def time_e1_sweep():
+    from repro.experiments.e1_disjointness_scaling import run
+
+    serial_s = best_of(lambda: run(grid=E1_GRID), repeats=2)
+    workers4_s = best_of(lambda: run(grid=E1_GRID, workers=4), repeats=2)
+    return serial_s, workers4_s
+
+
+def measure():
+    results = {
+        "calibration_s": best_of(calibration_workload, repeats=5),
+        "kernels": {
+            name: best_of(kernel) for name, kernel in KERNELS.items()
+        },
+    }
+    serial_s, workers4_s = time_e1_sweep()
+    results["e1_sweep"] = {
+        "grid": [list(point) for point in E1_GRID],
+        "serial_s": serial_s,
+        "workers4_s": workers4_s,
+        "speedup_at_4_workers": serial_s / workers4_s,
+    }
+    results["machine"] = {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    return results
+
+
+def check(baseline, current, tolerance):
+    failures = []
+    scale = current["calibration_s"] / baseline["calibration_s"]
+    print(
+        f"calibration: baseline {baseline['calibration_s']:.4f}s, "
+        f"now {current['calibration_s']:.4f}s "
+        f"(machine speed ratio {scale:.2f}x)"
+    )
+    for name, now_s in current["kernels"].items():
+        base_s = baseline["kernels"].get(name)
+        if base_s is None:
+            print(f"  {name:<24} {now_s:.4f}s  (no baseline — run --update)")
+            continue
+        allowed = tolerance * base_s * scale
+        verdict = "ok" if now_s <= allowed else "REGRESSION"
+        print(
+            f"  {name:<24} {now_s:.4f}s  baseline {base_s:.4f}s  "
+            f"allowed {allowed:.4f}s  {verdict}"
+        )
+        if now_s > allowed:
+            failures.append(
+                f"{name}: {now_s:.4f}s > {tolerance}x calibrated "
+                f"baseline {base_s * scale:.4f}s"
+            )
+
+    sweep = current["e1_sweep"]
+    cpus = current["machine"]["cpu_count"] or 1
+    print(
+        f"  e1 sweep: serial {sweep['serial_s']:.3f}s, 4 workers "
+        f"{sweep['workers4_s']:.3f}s, speedup "
+        f"{sweep['speedup_at_4_workers']:.2f}x on {cpus} CPU(s)"
+    )
+    if (
+        cpus >= MIN_CPUS_FOR_SPEEDUP_CHECK
+        and sweep["serial_s"] >= MIN_SERIAL_SECONDS_FOR_SPEEDUP_CHECK
+    ):
+        if sweep["speedup_at_4_workers"] < SPEEDUP_FLOOR:
+            failures.append(
+                f"e1 sweep speedup {sweep['speedup_at_4_workers']:.2f}x "
+                f"< {SPEEDUP_FLOOR}x floor on a {cpus}-CPU machine"
+            )
+    else:
+        print(
+            f"  (speedup floor not enforced: needs >= "
+            f"{MIN_CPUS_FOR_SPEEDUP_CHECK} CPUs and >= "
+            f"{MIN_SERIAL_SECONDS_FOR_SPEEDUP_CHECK}s of serial work)"
+        )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="re-measure and overwrite the baseline file",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="fail when a kernel exceeds this multiple of its calibrated "
+             "baseline (default: 2.0)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_PATH,
+        help="baseline JSON path (default: benchmarks/perf_baseline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run with --update first")
+        return 2
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = check(baseline, current, args.tolerance)
+    if failures:
+        print("\nperf regressions detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ in the substrate are caught where they originate.
 import itertools
 import random
 
+import pytest
+
 from repro.coding import (
     BitReader,
     HuffmanCode,
@@ -18,8 +20,16 @@ from repro.coding import (
     subset_rank,
     subset_unrank,
 )
-from repro.core import external_information_cost, run_protocol
-from repro.information import DiscreteDistribution
+from repro.core import (
+    external_information_cost,
+    joint_transcript_distribution,
+    run_protocol,
+)
+from repro.information import DiscreteDistribution, entropy
+from repro.information.estimation import (
+    bootstrap_mutual_information_interval,
+)
+from repro.lowerbounds.hard_distribution import and_hard_distribution
 from repro.protocols import OptimalDisjointnessProtocol, SequentialAndProtocol
 
 
@@ -85,3 +95,50 @@ def test_exact_information_cost_k8(benchmark):
     )
     value = benchmark(external_information_cost, protocol, mu)
     assert value > 1.0
+
+
+def test_entropy_cached_reuse(benchmark):
+    """Repeated entropy of one (immutable) distribution — the chain-rule
+    access pattern.  The lazy cache makes every call after the first a
+    slot read, which this benchmark exists to keep true."""
+    rng = random.Random(4)
+    dist = DiscreteDistribution(
+        {i: rng.random() + 1e-3 for i in range(4096)}, normalize=True
+    )
+    reference = entropy(dist)
+
+    def workload():
+        total = 0.0
+        for _ in range(200):
+            total += entropy(dist)
+        return total
+
+    assert benchmark(workload) == pytest.approx(200 * reference)
+
+
+def test_batched_joint_and_hard_distribution(benchmark):
+    """Batched shared-prefix enumeration over the Section 4 workload:
+    one tree walk for all (x, z) scenarios of the hard distribution."""
+    protocol = SequentialAndProtocol(8)
+    mu = and_hard_distribution(8)
+    joint = benchmark(joint_transcript_distribution, protocol, mu)
+    assert len(joint.support()) > 0
+
+
+def test_fast_bootstrap_interval(benchmark):
+    """The integer-recoded bootstrap kernel used by the Monte-Carlo
+    estimator (bit-identical to the generic path, much faster)."""
+    rng = random.Random(6)
+    pairs = []
+    for _ in range(400):
+        x = tuple(rng.randrange(2) for _ in range(8))
+        t = "".join(str(b) for b in x[: rng.randrange(1, 8)])
+        pairs.append((x, t))
+
+    def kernel():
+        return bootstrap_mutual_information_interval(
+            pairs, rng=random.Random(0), replicates=60
+        )
+
+    lo, hi = benchmark(kernel)
+    assert 0.0 <= lo <= hi

@@ -23,6 +23,9 @@ The library implements the paper's entire stack from scratch:
 * :mod:`repro.obs` — structured tracing and runtime metrics for all of
   the above (span/event tracers, labeled counters and log-scale
   histograms, fixed-width metric reports; see docs/observability.md).
+* :mod:`repro.perf` — the performance layer: a deterministic
+  process-pool executor for experiment grids (``--workers`` on the
+  experiment CLI; see docs/performance.md).
 
 Quick start::
 
@@ -48,4 +51,5 @@ __all__ = [
     "streaming",
     "experiments",
     "obs",
+    "perf",
 ]

@@ -36,6 +36,8 @@ from .tasks import (
     xor_task,
 )
 from .tree import (
+    MessageDistributionMemo,
+    batched_joint_transcript_distribution,
     joint_transcript_distribution,
     reachable_transcripts,
     transcript_distribution,
@@ -66,6 +68,8 @@ __all__ = [
     "max_communication",
     "transcript_distribution",
     "joint_transcript_distribution",
+    "batched_joint_transcript_distribution",
+    "MessageDistributionMemo",
     "reachable_transcripts",
     "transcript_joint",
     "conditional_transcript_joint",

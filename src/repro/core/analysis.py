@@ -31,7 +31,11 @@ from ..information.entropy import (
 )
 from .model import Protocol, Transcript
 from .tasks import Task
-from .tree import joint_transcript_distribution, transcript_distribution
+from .tree import (
+    MessageDistributionMemo,
+    joint_transcript_distribution,
+    transcript_distribution,
+)
 
 __all__ = [
     "transcript_joint",
@@ -148,9 +152,10 @@ def distributional_error(
     protocol's private coins) — the distributional setting
     :math:`D^\\mu_\\epsilon` of Section 3."""
     total = 0.0
+    memo = MessageDistributionMemo()
     for inputs, p_inputs in input_dist.items():
         correct = evaluate(inputs)
-        transcripts = transcript_distribution(protocol, inputs)
+        transcripts = transcript_distribution(protocol, inputs, memo=memo)
         state_cache = {}
         for transcript, p_transcript in transcripts.items():
             output = _output_for(protocol, transcript, state_cache)
@@ -173,9 +178,10 @@ def worst_case_error(
     if inputs_iter is None:
         inputs_iter = task.domain()
     worst = 0.0
+    memo = MessageDistributionMemo()
     for inputs in inputs_iter:
         correct = task.evaluate(inputs)
-        transcripts = transcript_distribution(protocol, inputs)
+        transcripts = transcript_distribution(protocol, inputs, memo=memo)
         state_cache = {}
         error = sum(
             p
@@ -192,8 +198,9 @@ def expected_communication(
     """The exact expected number of bits written, under ``input_dist`` and
     the protocol's private coins."""
     total = 0.0
+    memo = MessageDistributionMemo()
     for inputs, p_inputs in input_dist.items():
-        transcripts = transcript_distribution(protocol, inputs)
+        transcripts = transcript_distribution(protocol, inputs, memo=memo)
         total += p_inputs * sum(
             p * transcript.bits_written for transcript, p in transcripts.items()
         )
@@ -206,8 +213,9 @@ def worst_case_communication(
     """The exact worst-case communication :math:`CC(\\Pi)` over the given
     inputs: the longest transcript reachable with positive probability."""
     worst = -1
+    memo = MessageDistributionMemo()
     for inputs in inputs_iter:
-        transcripts = transcript_distribution(protocol, inputs)
+        transcripts = transcript_distribution(protocol, inputs, memo=memo)
         for transcript in transcripts.support():
             worst = max(worst, transcript.bits_written)
     if worst < 0:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..information.estimation import (
-    bootstrap_interval,
+    bootstrap_mutual_information_interval,
     plugin_mutual_information,
 )
 from ..obs.metrics import REGISTRY
@@ -88,11 +88,11 @@ def estimate_information_cost(
         plain = plugin_mutual_information(pairs)
         bootstrap_started = time.perf_counter()
         with tracer.span("bootstrap", replicates=bootstrap_replicates):
-            lo, hi = bootstrap_interval(
+            # Fast path: bit-identical to bootstrap_interval over
+            # plugin_mutual_information(..., miller_madow=True) for the
+            # same rng state (pinned by the regression tests).
+            lo, hi = bootstrap_mutual_information_interval(
                 pairs,
-                lambda resample: plugin_mutual_information(
-                    resample, miller_madow=True
-                ),
                 rng=rng,
                 replicates=bootstrap_replicates,
             )

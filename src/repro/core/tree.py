@@ -23,7 +23,33 @@ Entry points
 * :func:`joint_transcript_distribution` — joint law of (scenario
   components..., transcript) for a distribution over scenarios, where a
   scenario is any tuple whose components the caller wants to keep (inputs,
-  auxiliary variables, ...).
+  auxiliary variables, ...).  A thin wrapper over the batched walk below.
+* :func:`batched_joint_transcript_distribution` — the same joint law,
+  computed with a *single* walk of the protocol tree shared across every
+  scenario.  Lemma 3 says a transcript's probability factors into
+  per-player terms that depend only on that player's own input, i.e.
+  transcripts induce combinatorial rectangles over the input space.  The
+  batched walk exploits exactly this structure: at every board prefix it
+  carries the whole population of distinct input tuples that reach it and
+  partitions them by the *speaker's* input alone, so inputs that agree on
+  the speaking player's coordinate share one ``message_distribution``
+  call and one subtree.  Distinct input tuples whose behaviors coincide
+  along a prefix therefore cost one node expansion instead of many — the
+  ``tree_nodes_expanded`` counter drops accordingly.
+* :class:`MessageDistributionMemo` — an optional cross-call memo for
+  ``message_distribution`` results, for workloads (error sweeps,
+  communication profiles) that re-enumerate the same protocol many times.
+
+Bit-identity contract
+---------------------
+``batched_joint_transcript_distribution`` reproduces the legacy
+per-input path *bit for bit*: per distinct input tuple it performs the
+same multiplications in the same root-to-leaf order, reconstructs the
+leaf insertion order the per-input DFS would have produced (children are
+explored in reversed ``message_distribution`` order, so leaves arrive in
+descending lexicographic child-index order), and accumulates scenario
+mass in the same scenario/transcript iteration order.  The regression
+suite asserts exact float equality across every shipped protocol class.
 """
 
 from __future__ import annotations
@@ -36,8 +62,10 @@ from ..obs.trace import Tracer, get_tracer
 from .model import Message, Protocol, ProtocolViolation, Transcript
 
 __all__ = [
+    "MessageDistributionMemo",
     "transcript_distribution",
     "joint_transcript_distribution",
+    "batched_joint_transcript_distribution",
     "reachable_transcripts",
 ]
 
@@ -47,6 +75,87 @@ DEFAULT_MAX_MESSAGES = 100_000
 #: Probabilities below this threshold are treated as unreachable branches.
 _PRUNE_BELOW = 0.0
 
+_MISSING = object()
+
+
+class MessageDistributionMemo:
+    """An optional memo for ``Protocol.message_distribution`` calls.
+
+    Protocol hooks are pure functions, so the distribution returned for a
+    given ``(state, speaker, player_input, board)`` is reusable across
+    enumerations.  The exact analyzer never asks the same question twice
+    *within* one walk (boards are unique along a walk), but sweep-style
+    workloads — error cliffs, expected-communication profiles,
+    reachability maps — re-enumerate one protocol over many input tuples,
+    and inputs that agree on the speaking player's coordinate repeat the
+    identical call at every shared board prefix.
+
+    The key is ``(protocol, speaker, player_input, state, board)``; the
+    protocol object itself is part of the key, so one memo may be shared
+    across protocol instances.  States that are unhashable fall back to
+    calling through (counted separately), so the memo is always safe to
+    pass.  Returned distributions are the *same objects* as the first
+    call's, which preserves bit-identical downstream arithmetic.
+
+    Observability: the analyzer entry points flush :attr:`hits` /
+    :attr:`misses` deltas into the ``tree_memo_hits`` /
+    ``tree_memo_misses`` counters of :data:`repro.obs.REGISTRY` (labeled
+    by protocol class) whenever metrics collection is enabled.
+    """
+
+    __slots__ = ("_cache", "hits", "misses", "uncacheable")
+
+    def __init__(self) -> None:
+        self._cache: Dict[Any, DiscreteDistribution] = {}
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def distribution(
+        self,
+        protocol: Protocol,
+        state: Any,
+        speaker: int,
+        player_input: Any,
+        board: Transcript,
+    ) -> DiscreteDistribution:
+        """``protocol.message_distribution(...)``, memoized."""
+        try:
+            key = (protocol, speaker, player_input, state, board)
+            cached = self._cache.get(key, _MISSING)
+        except TypeError:  # unhashable state or input
+            self.uncacheable += 1
+            return protocol.message_distribution(
+                state, speaker, player_input, board
+            )
+        if cached is not _MISSING:
+            self.hits += 1
+            return cached  # type: ignore[return-value]
+        self.misses += 1
+        dist = protocol.message_distribution(state, speaker, player_input, board)
+        self._cache[key] = dist
+        return dist
+
+
+def _flush_memo_counters(
+    reg, memo: Optional[MessageDistributionMemo], before: Tuple[int, int], name: str
+) -> None:
+    """Feed the per-call memo hit/miss deltas into the registry."""
+    if reg is None or memo is None:
+        return
+    hits = memo.hits - before[0]
+    misses = memo.misses - before[1]
+    if hits:
+        reg.counter("tree_memo_hits").inc(hits, protocol=name)
+    if misses:
+        reg.counter("tree_memo_misses").inc(misses, protocol=name)
+
 
 def transcript_distribution(
     protocol: Protocol,
@@ -54,12 +163,16 @@ def transcript_distribution(
     *,
     max_messages: int = DEFAULT_MAX_MESSAGES,
     tracer: Optional[Tracer] = None,
+    memo: Optional[MessageDistributionMemo] = None,
 ) -> DiscreteDistribution:
     """The exact law of the transcript ``Π(inputs)`` over private coins.
 
     For a deterministic protocol this is a point mass.  The walk is a DFS
     over the protocol tree, so its cost is the number of reachable
     (transcript prefix) nodes under this input.
+
+    ``memo`` optionally reuses ``message_distribution`` results across
+    calls (see :class:`MessageDistributionMemo`); results are unchanged.
 
     Observability: each call emits one ``tree_enumerated`` trace event
     summarizing the walk (nodes expanded, leaves, max depth) and feeds
@@ -71,6 +184,7 @@ def transcript_distribution(
     if tracer is None:
         tracer = get_tracer()
     reg = REGISTRY if REGISTRY.enabled else None
+    memo_before = (memo.hits, memo.misses) if memo is not None else (0, 0)
     protocol.validate_inputs(inputs)
     leaves: Dict[Transcript, float] = {}
     nodes_expanded = 0
@@ -97,7 +211,14 @@ def transcript_distribution(
             raise ProtocolViolation(
                 f"next_speaker returned invalid player {speaker!r}"
             )
-        dist = protocol.message_distribution(state, speaker, inputs[speaker], board)
+        if memo is not None:
+            dist = memo.distribution(
+                protocol, state, speaker, inputs[speaker], board
+            )
+        else:
+            dist = protocol.message_distribution(
+                state, speaker, inputs[speaker], board
+            )
         for bits, p in dist.items():
             if p <= _PRUNE_BELOW:
                 continue
@@ -125,10 +246,11 @@ def transcript_distribution(
         reg.counter("tree_leaves").inc(len(leaves), protocol=name)
         reg.histogram("tree_depth").observe(max_depth, protocol=name)
         reg.histogram("tree_support").observe(len(leaves), protocol=name)
+        _flush_memo_counters(reg, memo, memo_before, name)
     return DiscreteDistribution(leaves, normalize=True)
 
 
-def joint_transcript_distribution(
+def batched_joint_transcript_distribution(
     protocol: Protocol,
     scenarios: DiscreteDistribution,
     inputs_of: Optional[Callable[[Any], Sequence[Any]]] = None,
@@ -136,8 +258,15 @@ def joint_transcript_distribution(
     names: Optional[Sequence[str]] = None,
     max_messages: int = DEFAULT_MAX_MESSAGES,
     tracer: Optional[Tracer] = None,
+    memo: Optional[MessageDistributionMemo] = None,
 ) -> JointDistribution:
-    """The exact joint law of ``(scenario components..., transcript)``.
+    """The exact joint law of ``(scenario components..., transcript)``,
+    computed with one shared walk of the protocol tree.
+
+    Semantics and result are bit-identical to enumerating each distinct
+    input tuple separately (the legacy per-input path, still available as
+    :func:`transcript_distribution` in a loop); see the module docstring
+    for why the shared walk is faithful to Lemma 3's rectangle structure.
 
     Parameters
     ----------
@@ -154,6 +283,8 @@ def joint_transcript_distribution(
     names:
         Optional component names for the result; the transcript component
         is appended automatically as ``"transcript"``.
+    memo:
+        Optional :class:`MessageDistributionMemo` shared across calls.
 
     Returns
     -------
@@ -164,41 +295,181 @@ def joint_transcript_distribution(
         inputs_of = lambda scenario: scenario[0]  # noqa: E731
     if tracer is None:
         tracer = get_tracer()
+    reg = REGISTRY if REGISTRY.enabled else None
+    memo_before = (memo.hits, memo.misses) if memo is not None else (0, 0)
 
-    probs: Dict[Tuple[Any, ...], float] = {}
-    # Distinct scenarios may share an input tuple (e.g. different values
-    # of the auxiliary variable D for the same X); cache per input tuple.
-    cache: Dict[Any, DiscreteDistribution] = {}
-    scenario_count = 0
+    # ------------------------------------------------------------------
+    # Pass 1: collect scenarios and the distinct input tuples behind them
+    # (distinct scenarios may share an input tuple, e.g. different values
+    # of the auxiliary variable D for the same X).
+    # ------------------------------------------------------------------
+    scenario_rows: List[Tuple[Tuple[Any, ...], float, Tuple[Any, ...]]] = []
+    input_keys: List[Tuple[Any, ...]] = []
+    seen_keys: Dict[Tuple[Any, ...], None] = {}
     for scenario, p_scenario in scenarios.items():
-        scenario_count += 1
         if not isinstance(scenario, tuple):
             raise TypeError(
                 f"scenario outcomes must be tuples, got {scenario!r}"
             )
-        inputs = inputs_of(scenario)
-        key = tuple(inputs)
-        transcripts = cache.get(key)
-        if transcripts is None:
-            transcripts = transcript_distribution(
-                protocol, inputs, max_messages=max_messages, tracer=tracer
+        key = tuple(inputs_of(scenario))
+        scenario_rows.append((scenario, p_scenario, key))
+        if key not in seen_keys:
+            seen_keys[key] = None
+            input_keys.append(key)
+            protocol.validate_inputs(key)
+
+    # ------------------------------------------------------------------
+    # Pass 2: one DFS over the *union* protocol tree.  Each node carries
+    # the population of input tuples that reach its board, as a mapping
+    # input tuple -> (probability of this path under that input,
+    #                 child-index path in that input's own enumeration).
+    # The index path lets us replay, per input, the exact leaf order the
+    # per-input DFS produces (children are pushed in message order and
+    # popped LIFO, so leaves arrive in descending lexicographic index
+    # order) — which pins the normalization sum bit-for-bit.
+    # ------------------------------------------------------------------
+    Groups = Dict[Tuple[Any, ...], Tuple[float, Tuple[int, ...]]]
+    leaves_by_key: Dict[
+        Tuple[Any, ...], List[Tuple[Tuple[int, ...], Transcript, float]]
+    ] = {key: [] for key in input_keys}
+    union_leaves: Dict[Transcript, None] = {}
+    nodes_expanded = 0
+    max_depth = 0
+    root_groups: Groups = {key: (1.0, ()) for key in input_keys}
+    stack: List[Tuple[Any, Transcript, Groups]] = [
+        (protocol.initial_state(), Transcript(), root_groups)
+    ]
+    while stack:
+        state, board, groups = stack.pop()
+        nodes_expanded += 1
+        if len(board) > max_messages:
+            raise ProtocolViolation(
+                f"protocol exceeded {max_messages} messages during exact "
+                "enumeration"
             )
-            cache[key] = transcripts
-        for transcript, p_transcript in transcripts.items():
+        if len(board) > max_depth:
+            max_depth = len(board)
+        speaker = protocol.next_speaker(state, board)
+        if speaker is None:
+            union_leaves[board] = None
+            for key, (prob, index_path) in groups.items():
+                leaves_by_key[key].append((index_path, board, prob))
+            continue
+        if not 0 <= speaker < protocol.num_players:
+            raise ProtocolViolation(
+                f"next_speaker returned invalid player {speaker!r}"
+            )
+        # Partition the population by the speaking player's input — the
+        # only coordinate the next message law may depend on (Lemma 3).
+        partitions: Dict[Any, List[Tuple[Any, ...]]] = {}
+        for key in groups:
+            partitions.setdefault(key[speaker], []).append(key)
+        children: Dict[str, Tuple[Message, Groups]] = {}
+        for speaker_input, keys in partitions.items():
+            if memo is not None:
+                dist = memo.distribution(
+                    protocol, state, speaker, speaker_input, board
+                )
+            else:
+                dist = protocol.message_distribution(
+                    state, speaker, speaker_input, board
+                )
+            for index, (bits, p) in enumerate(dist.items()):
+                if p <= _PRUNE_BELOW:
+                    continue
+                if bits == "":
+                    raise ProtocolViolation(
+                        "protocols may not write empty messages"
+                    )
+                child = children.get(bits)
+                if child is None:
+                    child = children[bits] = (
+                        Message(speaker=speaker, bits=bits),
+                        {},
+                    )
+                child_groups = child[1]
+                for key in keys:
+                    prob, index_path = groups[key]
+                    child_groups[key] = (prob * p, index_path + (index,))
+        for bits, (message, child_groups) in children.items():
+            stack.append(
+                (
+                    protocol.advance_state(state, message),
+                    board.extend(message),
+                    child_groups,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Pass 3: rebuild each input's transcript law in its per-input DFS
+    # leaf order (descending lexicographic index path), then accumulate
+    # scenario mass exactly as the per-input path does.
+    # ------------------------------------------------------------------
+    transcripts_by_key: Dict[Tuple[Any, ...], DiscreteDistribution] = {}
+    for key in input_keys:
+        entries = leaves_by_key[key]
+        entries.sort(key=lambda entry: entry[0], reverse=True)
+        leaves: Dict[Transcript, float] = {}
+        for _index_path, leaf_board, prob in entries:
+            leaves[leaf_board] = leaves.get(leaf_board, 0.0) + prob
+        transcripts_by_key[key] = DiscreteDistribution(leaves, normalize=True)
+
+    probs: Dict[Tuple[Any, ...], float] = {}
+    for scenario, p_scenario, key in scenario_rows:
+        for transcript, p_transcript in transcripts_by_key[key].items():
             outcome = scenario + (transcript,)
             probs[outcome] = probs.get(outcome, 0.0) + p_scenario * p_transcript
+
     if tracer:
         tracer.event(
             "joint_enumerated",
             protocol=type(protocol).__name__,
-            scenarios=scenario_count,
-            distinct_inputs=len(cache),
+            scenarios=len(scenario_rows),
+            distinct_inputs=len(input_keys),
             outcomes=len(probs),
+            nodes=nodes_expanded,
+            max_depth=max_depth,
+            batched=True,
         )
+    if reg is not None:
+        name = type(protocol).__name__
+        reg.counter("tree_nodes_expanded").inc(nodes_expanded, protocol=name)
+        reg.counter("tree_leaves").inc(len(union_leaves), protocol=name)
+        reg.histogram("tree_depth").observe(max_depth, protocol=name)
+        reg.histogram("tree_support").observe(len(union_leaves), protocol=name)
+        _flush_memo_counters(reg, memo, memo_before, name)
     full_names = None
     if names is not None:
         full_names = tuple(names) + ("transcript",)
     return JointDistribution(probs, names=full_names, normalize=True)
+
+
+def joint_transcript_distribution(
+    protocol: Protocol,
+    scenarios: DiscreteDistribution,
+    inputs_of: Optional[Callable[[Any], Sequence[Any]]] = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    max_messages: int = DEFAULT_MAX_MESSAGES,
+    tracer: Optional[Tracer] = None,
+    memo: Optional[MessageDistributionMemo] = None,
+) -> JointDistribution:
+    """The exact joint law of ``(scenario components..., transcript)``.
+
+    A thin wrapper over :func:`batched_joint_transcript_distribution`,
+    kept as the stable public name; results are bit-identical to the
+    legacy implementation that enumerated every distinct input tuple
+    with its own tree walk.
+    """
+    return batched_joint_transcript_distribution(
+        protocol,
+        scenarios,
+        inputs_of,
+        names=names,
+        max_messages=max_messages,
+        tracer=tracer,
+        memo=memo,
+    )
 
 
 def reachable_transcripts(
@@ -206,6 +477,8 @@ def reachable_transcripts(
     input_tuples: Sequence[Sequence[Any]],
     *,
     max_messages: int = DEFAULT_MAX_MESSAGES,
+    tracer: Optional[Tracer] = None,
+    memo: Optional[MessageDistributionMemo] = None,
 ) -> Dict[Transcript, List[Sequence[Any]]]:
     """All transcripts reachable from any of the given inputs, mapped to
     the inputs that can produce them.
@@ -213,10 +486,27 @@ def reachable_transcripts(
     Used by the lower-bound machinery to enumerate the transcript space a
     protocol induces (e.g. to compute :math:`\\pi_2` over the two-zero
     input class) and by model-discipline tests.
+
+    Duplicate input tuples are enumerated once (the per-input-tuple cache
+    :func:`joint_transcript_distribution` uses); the returned mapping
+    still lists one entry per occurrence, preserving the historical
+    output shape.  ``tracer``/``memo`` pass through to the per-input
+    enumeration.
     """
     reachable: Dict[Transcript, List[Sequence[Any]]] = {}
+    cache: Dict[Tuple[Any, ...], DiscreteDistribution] = {}
     for inputs in input_tuples:
-        dist = transcript_distribution(protocol, inputs, max_messages=max_messages)
+        key = tuple(inputs)
+        dist = cache.get(key)
+        if dist is None:
+            dist = transcript_distribution(
+                protocol,
+                inputs,
+                max_messages=max_messages,
+                tracer=tracer,
+                memo=memo,
+            )
+            cache[key] = dist
         for transcript in dist.support():
-            reachable.setdefault(transcript, []).append(tuple(inputs))
+            reachable.setdefault(transcript, []).append(key)
     return reachable

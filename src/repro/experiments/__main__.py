@@ -22,6 +22,7 @@ printed after each experiment.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -63,6 +64,15 @@ def main(argv=None) -> int:
         help="collect runtime metrics and print a per-experiment "
              "counters/timing table",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="evaluate experiment grids with N worker processes "
+             "(experiments that support it; -1 means one per CPU; "
+             "tables are byte-identical to the serial run)",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiments:
@@ -99,8 +109,12 @@ def main(argv=None) -> int:
                     enable_metrics(reset=True)
                 if tracer:
                     tracer.event("experiment_start", experiment=eid)
+                runner = ALL_EXPERIMENTS[eid]
+                kwargs = {}
+                if args.workers is not None and _supports_workers(runner):
+                    kwargs["workers"] = args.workers
                 started = time.monotonic()
-                table = ALL_EXPERIMENTS[eid]()
+                table = runner(**kwargs)
                 elapsed = time.monotonic() - started
                 if tracer:
                     tracer.event(
@@ -127,6 +141,15 @@ def main(argv=None) -> int:
 
 def _experiment_order(eid: str) -> int:
     return int(eid[1:])
+
+
+def _supports_workers(runner) -> bool:
+    """Whether an experiment's ``run`` accepts the ``workers`` kwarg
+    (grid-style sweeps routed through :func:`repro.perf.map_grid`)."""
+    try:
+        return "workers" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
 
 
 if __name__ == "__main__":

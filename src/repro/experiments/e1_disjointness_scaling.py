@@ -17,12 +17,14 @@ one by a factor approaching ``log n / log k``.
 
 from __future__ import annotations
 
+import functools
 import math
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.runner import run_protocol
 from ..core.tasks import disjointness_task
+from ..perf import map_grid
 from ..protocols.naive_disjointness import NaiveDisjointnessProtocol
 from ..protocols.optimal_disjointness import OptimalDisjointnessProtocol
 from ..protocols.trivial import TrivialDisjointnessProtocol
@@ -68,13 +70,47 @@ def measure_point(n: int, k: int) -> Tuple[int, int, int]:
     return tuple(results)  # type: ignore[return-value]
 
 
+def _measure_grid_point(
+    point: Tuple[int, int], seed: int, *, check_random_instances: bool
+) -> Tuple[int, int, int]:
+    """One E1 grid task: worst-case bits at ``(n, k)`` plus an optional
+    random-instance correctness check.
+
+    Pure in ``(point, seed)`` — the random check instances are drawn from
+    a per-task RNG seeded by :func:`repro.perf.derive_seed`, never from a
+    sweep-wide RNG, so the sweep is parallelizable without changing any
+    result.
+    """
+    n, k = point
+    bits = measure_point(n, k)
+    if check_random_instances:
+        rng = random.Random(seed)
+        task = disjointness_task(n, k)
+        inputs = random_instance(n, k, rng)
+        for protocol_cls in (
+            OptimalDisjointnessProtocol, NaiveDisjointnessProtocol,
+        ):
+            outcome = run_protocol(protocol_cls(n, k), inputs)
+            if outcome.output != task.evaluate(inputs):
+                raise AssertionError(
+                    f"{protocol_cls.__name__} wrong on random instance"
+                )
+    return bits
+
+
 def run(
     grid: Sequence[Tuple[int, int]] = DEFAULT_GRID,
     *,
     check_random_instances: bool = True,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ExperimentTable:
-    """Run the E1 sweep and return the result table."""
+    """Run the E1 sweep and return the result table.
+
+    ``workers > 1`` evaluates grid points in parallel processes via
+    :func:`repro.perf.map_grid`; the rendered table is byte-identical to
+    the serial run.
+    """
     table = ExperimentTable(
         experiment_id="E1",
         title="Set disjointness communication scaling (worst-case input)",
@@ -89,10 +125,19 @@ def run(
             "opt/(n·lg(ek)+k)", "naive/(n·lg n+k)", "naive/opt",
         ],
     )
-    rng = random.Random(seed)
+    measurements = map_grid(
+        functools.partial(
+            _measure_grid_point,
+            check_random_instances=check_random_instances,
+        ),
+        list(grid),
+        workers=workers,
+        base_seed=seed,
+    )
     optimal_ratios: List[float] = []
-    for n, k in grid:
-        optimal_bits, naive_bits, trivial_bits = measure_point(n, k)
+    for (n, k), (optimal_bits, naive_bits, trivial_bits) in zip(
+        grid, measurements
+    ):
         optimal_norm = optimal_bits / (n * math.log2(math.e * k) + k)
         naive_norm = naive_bits / (n * max(math.log2(n), 1.0) + k)
         table.add_row(
@@ -100,17 +145,6 @@ def run(
             optimal_norm, naive_norm, naive_bits / optimal_bits,
         )
         optimal_ratios.append(optimal_norm)
-        if check_random_instances:
-            task = disjointness_task(n, k)
-            inputs = random_instance(n, k, rng)
-            for protocol_cls in (
-                OptimalDisjointnessProtocol, NaiveDisjointnessProtocol,
-            ):
-                outcome = run_protocol(protocol_cls(n, k), inputs)
-                if outcome.output != task.evaluate(inputs):
-                    raise AssertionError(
-                        f"{protocol_cls.__name__} wrong on random instance"
-                    )
     table.add_note(
         "optimal/(n lg(ek)+k) staying bounded (max "
         f"{max(optimal_ratios):.3f}) exhibits the O(n log k + k) upper "

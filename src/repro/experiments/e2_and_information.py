@@ -27,10 +27,11 @@ growth is conservative.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..core.analysis import conditional_information_cost
 from ..lowerbounds.hard_distribution import and_hard_distribution
+from ..perf import map_grid
 from ..protocols.and_protocols import (
     FullBroadcastAndProtocol,
     SequentialAndProtocol,
@@ -54,7 +55,20 @@ def sequential_and_cic(k: int, *, max_zeros: Optional[int] = None) -> float:
     return conditional_information_cost(SequentialAndProtocol(k), mu)
 
 
-def run(ks: Sequence[int] = DEFAULT_KS) -> ExperimentTable:
+def _measure_grid_point(k: int) -> Tuple[float, float, bool]:
+    """One E2 grid task: exact CIC of both witness protocols at ``k``.
+    Pure, so the sweep parallelizes without changing any value."""
+    truncated = k > _FULL_SUPPORT_LIMIT
+    max_zeros = 3 if truncated else None
+    mu = and_hard_distribution(k, max_zeros=max_zeros)
+    cic_seq = conditional_information_cost(SequentialAndProtocol(k), mu)
+    cic_full = conditional_information_cost(FullBroadcastAndProtocol(k), mu)
+    return cic_seq, cic_full, truncated
+
+
+def run(
+    ks: Sequence[int] = DEFAULT_KS, *, workers: Optional[int] = None
+) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="E2",
         title="Conditional information cost of AND_k under the hard "
@@ -69,14 +83,8 @@ def run(ks: Sequence[int] = DEFAULT_KS) -> ExperimentTable:
         ],
     )
     ratios = []
-    for k in ks:
-        truncated = k > _FULL_SUPPORT_LIMIT
-        max_zeros = 3 if truncated else None
-        mu = and_hard_distribution(k, max_zeros=max_zeros)
-        cic_seq = conditional_information_cost(SequentialAndProtocol(k), mu)
-        cic_full = conditional_information_cost(
-            FullBroadcastAndProtocol(k), mu
-        )
+    measurements = map_grid(_measure_grid_point, list(ks), workers=workers)
+    for k, (cic_seq, cic_full, truncated) in zip(ks, measurements):
         log2k = math.log2(k)
         ratio = cic_seq / log2k if log2k > 0 else float("nan")
         if log2k > 0:

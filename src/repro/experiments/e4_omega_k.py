@@ -14,14 +14,26 @@ constant fraction of the ``k`` players speak, so its communication is
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import functools
+from typing import List, Optional, Sequence, Tuple
 
 from ..lowerbounds.fooling import TruncatedAndProtocol, lemma6_report
+from ..perf import map_grid
 from .tables import ExperimentTable
 
 __all__ = ["run", "DEFAULT_KS"]
 
 DEFAULT_KS: Sequence[int] = (16, 64, 256)
+
+
+def _measure_grid_point(
+    point: Tuple[int, int], *, eps_prime: float
+) -> Tuple[float, float, bool]:
+    """One E4 grid task: the exact Lemma 6 report at ``(k, budget)``.
+    Pure, so the sweep parallelizes without changing any value."""
+    k, budget = point
+    report = lemma6_report(TruncatedAndProtocol(k, budget), eps_prime=eps_prime)
+    return report.error_lower_bound, report.exact_error, report.bound_holds
 
 
 def run(
@@ -30,6 +42,7 @@ def run(
     eps_prime: float = 0.2,
     eps: float = 0.1,
     budget_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.875, 1.0),
+    workers: Optional[int] = None,
 ) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="E4",
@@ -46,22 +59,31 @@ def run(
         ],
     )
     threshold_fraction = 1.0 - eps / (1.0 - eps_prime)
+    grid = [
+        (k, round(fraction * k))
+        for k in ks
+        for fraction in budget_fractions
+    ]
+    measurements = map_grid(
+        functools.partial(_measure_grid_point, eps_prime=eps_prime),
+        grid,
+        workers=workers,
+    )
+    by_point = dict(zip(grid, measurements))
     crossovers: List[Tuple[int, float]] = []
     for k in ks:
         first_below = None
         for fraction in budget_fractions:
             budget = round(fraction * k)
-            report = lemma6_report(
-                TruncatedAndProtocol(k, budget), eps_prime=eps_prime
-            )
-            above = report.exact_error > eps + 1e-9
+            error_lower_bound, exact_error, bound_holds = by_point[(k, budget)]
+            above = exact_error > eps + 1e-9
             table.add_row(
                 k, budget, budget / k,
-                report.error_lower_bound,
-                report.exact_error,
+                error_lower_bound,
+                exact_error,
                 "yes" if above else "no",
             )
-            if not report.bound_holds:
+            if not bound_holds:
                 raise AssertionError(
                     f"Lemma 6 bound violated at k={k}, budget={budget}"
                 )

@@ -32,6 +32,7 @@ from .entropy import (
 )
 from .estimation import (
     bootstrap_interval,
+    bootstrap_mutual_information_interval,
     empirical_distribution,
     miller_madow_entropy,
     plugin_entropy,
@@ -58,4 +59,5 @@ __all__ = [
     "miller_madow_entropy",
     "plugin_mutual_information",
     "bootstrap_interval",
+    "bootstrap_mutual_information_interval",
 ]

@@ -75,7 +75,7 @@ class DiscreteDistribution:
     0.0
     """
 
-    __slots__ = ("_probs",)
+    __slots__ = ("_probs", "_entropy", "_support")
 
     def __init__(
         self,
@@ -107,6 +107,11 @@ class DiscreteDistribution:
         if not probs:
             raise ValueError("distribution has empty support")
         self._probs = probs
+        # Lazy caches — the distribution is immutable, so the entropy and
+        # the support tuple are computed at most once per instance (the
+        # chain-rule analyses call both repeatedly on the same marginals).
+        self._entropy: Optional[float] = None
+        self._support: Optional[Tuple[Outcome, ...]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -176,8 +181,27 @@ class DiscreteDistribution:
         return self._probs.items()
 
     def support(self) -> List[Outcome]:
-        """All outcomes with strictly positive probability."""
-        return list(self._probs)
+        """All outcomes with strictly positive probability.
+
+        Returns a fresh list (callers may mutate it); the underlying
+        tuple is cached.
+        """
+        if self._support is None:
+            self._support = tuple(self._probs)
+        return list(self._support)
+
+    def entropy(self) -> float:
+        """Shannon entropy :math:`H` of this distribution in bits, cached.
+
+        The summation is identical, term for term, to the historical
+        :func:`repro.information.entropy.entropy` free function (which now
+        delegates here), so cached and uncached values are bit-identical.
+        """
+        if self._entropy is None:
+            self._entropy = -sum(
+                p * math.log2(p) for _, p in self._probs.items() if p > 0.0
+            )
+        return self._entropy
 
     def as_dict(self) -> Dict[Outcome, float]:
         """A copy of the underlying outcome → probability mapping."""

@@ -39,8 +39,12 @@ def entropy(dist: DiscreteDistribution) -> float:
 
     Outcomes outside the support contribute ``0 log 0 = 0`` by the paper's
     convention (they are never stored, so the sum is over the support).
+
+    Delegates to :meth:`DiscreteDistribution.entropy`, which caches the
+    value on the (immutable) distribution — chain-rule decompositions ask
+    for the same marginal entropies many times.
     """
-    return -sum(p * math.log2(p) for _, p in dist.items() if p > 0.0)
+    return dist.entropy()
 
 
 def binary_entropy(p: float) -> float:

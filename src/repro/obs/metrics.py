@@ -262,6 +262,46 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a :class:`MetricsSnapshot` into this registry.
+
+        Counters add, gauges take the snapshot's value (last write wins,
+        so merge snapshots in a deterministic order), histograms combine
+        their counts/sums/extrema/buckets.  This is how worker-process
+        metrics collected by :func:`repro.perf.map_grid` flow back into
+        the parent registry; merging is a no-op while the registry is
+        disabled, matching every other mutation path.
+        """
+        if not self.enabled:
+            return
+        for name, series in snapshot.counters.items():
+            counter = self.counter(name)
+            with self._lock:
+                for key, value in series.items():
+                    counter.series[key] = counter.series.get(key, 0) + value
+        for name, series in snapshot.gauges.items():
+            gauge = self.gauge(name)
+            with self._lock:
+                for key, value in series.items():
+                    gauge.series[key] = value
+        for name, series in snapshot.histograms.items():
+            histogram = self.histogram(name)
+            with self._lock:
+                for key, value in series.items():
+                    state = histogram.series.get(key)
+                    if state is None:
+                        state = histogram.series[key] = HistogramValue()
+                    state.count += value.count
+                    state.sum += value.sum
+                    if value.min < state.min:
+                        state.min = value.min
+                    if value.max > state.max:
+                        state.max = value.max
+                    for bucket, count in value.buckets.items():
+                        state.buckets[bucket] = (
+                            state.buckets.get(bucket, 0) + count
+                        )
+
     def snapshot(self) -> MetricsSnapshot:
         """Copy out all non-empty series."""
         counters: Dict[str, Dict[LabelKey, float]] = {}
