@@ -1,0 +1,177 @@
+"""Command-line fuzz harness.
+
+Usage::
+
+    python -m repro.check --seed 0 --cases 500       # the nightly budget
+    python -m repro.check --seed 0 --cases 25        # the PR smoke budget
+    python -m repro.check --seed 7 --cases 100 --oracles sampler,invariants
+    python -m repro.check --replay .fuzz-failures/case-12-seed-123.json
+
+    # Observability (see docs/observability.md):
+    python -m repro.check --seed 0 --cases 50 --trace out.jsonl --metrics
+
+On failure the harness shrinks each failing case to a minimal witness
+and writes a replayable JSON bundle under ``--bundle-dir`` (default
+``.fuzz-failures/``), then exits non-zero.  ``--max-seconds`` caps wall
+clock (the run stops cleanly and still reports); ``--replay`` rebuilds a
+bundle's shrunk witness and re-runs its failing oracles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bundle import load_bundle, replay_bundle
+from .harness import run_suite
+from .oracles import ALL_ORACLES, oracle_by_name
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Seeded random-protocol fuzzing with differential "
+                    "oracles (see docs/testing.md).",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed of the case stream"
+    )
+    parser.add_argument(
+        "--cases", type=int, default=100, help="number of cases to generate"
+    )
+    parser.add_argument(
+        "--oracles",
+        metavar="NAMES",
+        help="comma-separated subset of oracles to run "
+             f"(default: all of {','.join(o.name for o in ALL_ORACLES)})",
+    )
+    parser.add_argument(
+        "--bundle-dir",
+        metavar="DIR",
+        default=".fuzz-failures",
+        help="where to write repro bundles for failing cases",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        metavar="S",
+        default=None,
+        help="wall-clock budget; the run stops cleanly when it is spent",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="serialize failing cases unshrunk (faster triage loop)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="BUNDLE",
+        help="re-run a bundle's failing oracles on its shrunk witness "
+             "instead of fuzzing",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="stream structured trace events (one check_case event per "
+             "case plus the instrumented subsystems) to FILE as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect runtime metrics (check_cases / check_oracle_runs / "
+             "check_failures and the analyzer counters) and print them",
+    )
+    args = parser.parse_args(argv)
+
+    from ..obs import (
+        JsonlTracer,
+        REGISTRY,
+        disable_metrics,
+        enable_metrics,
+        render_metrics,
+        set_tracer,
+        using_tracer,
+    )
+
+    oracles = ALL_ORACLES
+    if args.oracles:
+        try:
+            oracles = tuple(
+                oracle_by_name(name.strip())
+                for name in args.oracles.split(",")
+                if name.strip()
+            )
+        except KeyError as error:
+            parser.error(str(error))
+
+    tracer = JsonlTracer(args.trace) if args.trace else None
+    exit_code = 0
+    try:
+        with using_tracer(tracer):
+            if args.metrics:
+                enable_metrics(reset=True)
+            if args.replay:
+                exit_code = _replay(args.replay)
+            else:
+                exit_code = _fuzz(args, oracles)
+            if args.metrics:
+                print(render_metrics(REGISTRY, title="repro.check metrics"))
+                disable_metrics()
+    finally:
+        if tracer:
+            tracer.close()
+            print(f"trace written to {args.trace}")
+        set_tracer(None)
+    return exit_code
+
+
+def _fuzz(args, oracles) -> int:
+    def progress(done: int, total: int) -> None:
+        if done % 50 == 0 or done == total:
+            print(f"  checked {done}/{total} cases", flush=True)
+
+    report = run_suite(
+        args.seed,
+        args.cases,
+        oracles=oracles,
+        bundle_dir=args.bundle_dir,
+        max_seconds=args.max_seconds,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    verdict = "OK" if report.ok else "FAIL"
+    budget_note = " (wall-clock budget exhausted)" if report.budget_exhausted else ""
+    print(
+        f"{verdict}: {report.cases_run}/{report.cases_requested} cases, "
+        f"{len(oracles)} oracles each, {report.elapsed_seconds:.1f}s"
+        f"{budget_note}"
+    )
+    for failing in report.failures:
+        names = ", ".join(result.oracle for result in failing.failures)
+        print(
+            f"  case {failing.case.index} (seed {failing.case.spec.seed}) "
+            f"failed: {names}"
+        )
+        for result in failing.failures:
+            print(f"    [{result.oracle}] {result.details}")
+    for path in report.bundle_paths:
+        print(f"  repro bundle: {path}")
+    return 0 if report.ok else 1
+
+
+def _replay(path: str) -> int:
+    bundle = load_bundle(path)
+    names = ", ".join(bundle.failing_oracles) or "all"
+    print(
+        f"replaying bundle {path} (case {bundle.case_index}, "
+        f"oracles: {names})"
+    )
+    results = replay_bundle(path)
+    for result in results:
+        marker = "ok" if result.ok else "FAIL"
+        print(f"  [{result.oracle}] {marker}: {result.details}")
+    return 0 if all(result.ok for result in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

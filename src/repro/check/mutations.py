@@ -1,0 +1,521 @@
+"""Reference implementations with deliberately plantable bugs.
+
+Every differential oracle in :mod:`repro.check.oracles` compares the
+production code against an independent reference implementation kept
+here.  Each reference accepts a ``bug`` argument: ``None`` gives the
+faithful copy (the reference side of the differential test), while one
+of the names in the function's ``BUGS`` tuple plants a specific,
+realistic defect (an off-by-one, a dropped term, a skipped round).
+
+The planted bugs are the harness's *mutation self-tests*: for every bug
+there is a pinned fuzz case on which the corresponding oracle provably
+reports a failure (``tests/check/test_oracles.py``), so the oracles'
+statistical power is itself under test — an oracle whose tolerance is so
+loose it would miss a real regression fails its own self-test first.
+
+Nothing here is used by production code; the faithful copies are
+*intentionally* independent re-derivations (per-input DFS instead of the
+batched walk, naive :math:`O(k^2)` closed form instead of the prefix-sum
+one, a literal dart loop without observability) so that a shared bug
+between subject and reference is unlikely.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import Message, Protocol, ProtocolViolation, Transcript
+from ..core.tree import MessageDistributionMemo
+from ..information.distribution import DiscreteDistribution, JointDistribution
+
+__all__ = [
+    "TREE_BUGS",
+    "CLOSED_FORM_BUGS",
+    "CHAIN_RULE_BUGS",
+    "FACTOR_BUGS",
+    "DART_BUGS",
+    "ESTIMATOR_BUGS",
+    "DISCIPLINE_BUGS",
+    "legacy_joint_transcript_distribution",
+    "closed_form_cic",
+    "chain_rule_information",
+    "factor_probability",
+    "dart_rounds",
+    "paired_samples",
+    "BrokenPrefixProtocol",
+    "ImpureStateProtocol",
+    "wrap_discipline_bug",
+]
+
+
+def _check_bug(bug: Optional[str], allowed: Tuple[str, ...]) -> None:
+    if bug is not None and bug not in allowed:
+        raise ValueError(f"unknown planted bug {bug!r}; known: {allowed}")
+
+
+# ----------------------------------------------------------------------
+# 1. Legacy per-input tree walk (reference for the batched enumeration).
+# ----------------------------------------------------------------------
+TREE_BUGS: Tuple[str, ...] = ("off-by-one-prob", "leaf-order")
+
+
+def _legacy_transcript_distribution(
+    protocol: Protocol, inputs: Sequence[Any], bug: Optional[str]
+) -> DiscreteDistribution:
+    """The historical per-input DFS, replicated independently of
+    :func:`repro.core.tree.transcript_distribution`.
+
+    Planted bugs:
+
+    * ``"off-by-one-prob"`` — each child is weighted with its *previous*
+      sibling's probability (the first child gets 1.0): a classic
+      iteration off-by-one that skews every non-degenerate branch.
+    * ``"leaf-order"`` — children are pushed in reversed message order,
+      so leaves arrive in *ascending* lexicographic index order instead
+      of the descending order the production DFS produces.  Masses are
+      equal but the accumulation order (and hence the item order the
+      bit-identity contract pins) differs.
+    """
+    leaves: Dict[Transcript, float] = {}
+    stack: List[Tuple[Any, Transcript, float]] = [
+        (protocol.initial_state(), Transcript(), 1.0)
+    ]
+    while stack:
+        state, board, prob = stack.pop()
+        speaker = protocol.next_speaker(state, board)
+        if speaker is None:
+            leaves[board] = leaves.get(board, 0.0) + prob
+            continue
+        dist = protocol.message_distribution(
+            state, speaker, inputs[speaker], board
+        )
+        items = list(dist.items())
+        if bug == "leaf-order":
+            items = list(reversed(items))
+        previous_p = 1.0
+        for bits, p in items:
+            if p <= 0.0:
+                continue
+            if bits == "":
+                raise ProtocolViolation("protocols may not write empty messages")
+            branch_p = previous_p if bug == "off-by-one-prob" else p
+            previous_p = p
+            message = Message(speaker=speaker, bits=bits)
+            stack.append(
+                (
+                    protocol.advance_state(state, message),
+                    board.extend(message),
+                    prob * branch_p,
+                )
+            )
+    return DiscreteDistribution(leaves, normalize=True)
+
+
+def legacy_joint_transcript_distribution(
+    protocol: Protocol,
+    scenarios: DiscreteDistribution,
+    inputs_of: Optional[Callable[[Any], Sequence[Any]]] = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    bug: Optional[str] = None,
+) -> JointDistribution:
+    """The joint ``(scenario..., transcript)`` law via one DFS per
+    distinct input tuple — the pre-batching reference semantics."""
+    _check_bug(bug, TREE_BUGS)
+    if inputs_of is None:
+        inputs_of = lambda scenario: scenario[0]  # noqa: E731
+    cache: Dict[Tuple[Any, ...], DiscreteDistribution] = {}
+    probs: Dict[Tuple[Any, ...], float] = {}
+    for scenario, p_scenario in scenarios.items():
+        key = tuple(inputs_of(scenario))
+        dist = cache.get(key)
+        if dist is None:
+            dist = _legacy_transcript_distribution(protocol, key, bug)
+            cache[key] = dist
+        for transcript, p_transcript in dist.items():
+            outcome = scenario + (transcript,)
+            probs[outcome] = probs.get(outcome, 0.0) + p_scenario * p_transcript
+    full_names = tuple(names) + ("transcript",) if names is not None else None
+    return JointDistribution(probs, names=full_names, normalize=True)
+
+
+# ----------------------------------------------------------------------
+# 2. Sequential-AND CIC closed form (reference: the naive O(k^2) sum).
+# ----------------------------------------------------------------------
+CLOSED_FORM_BUGS: Tuple[str, ...] = ("off-by-one-z", "missing-boundary")
+
+
+def closed_form_cic(k: int, *, bug: Optional[str] = None) -> float:
+    """:math:`\\frac1k \\sum_z H(J \\mid Z = z)` summed naively per ``z``
+    (independent of the production prefix-sum evaluation).
+
+    Planted bugs: ``"off-by-one-z"`` sums ``z`` over ``range(k - 1)``
+    (dropping the highest-entropy conditioning value); and
+    ``"missing-boundary"`` forgets the :math:`j = z` boundary term
+    :math:`(1 - 1/k)^z` of each conditional entropy.
+    """
+    _check_bug(bug, CLOSED_FORM_BUGS)
+    if k < 2:
+        raise ValueError(f"need k >= 2, got {k}")
+    q = 1.0 - 1.0 / k
+    z_values = range(k - 1) if bug == "off-by-one-z" else range(k)
+    total = 0.0
+    for z in z_values:
+        entropy = 0.0
+        for j in range(z):
+            p = (q**j) * (1.0 / k)
+            if p > 0.0:
+                entropy -= p * math.log2(p)
+        boundary = q**z
+        if boundary > 0.0 and bug != "missing-boundary":
+            entropy -= boundary * math.log2(boundary)
+        total += entropy
+    return total / k
+
+
+# ----------------------------------------------------------------------
+# 3. Round-by-round chain rule (reference for I(Pi; X)).
+# ----------------------------------------------------------------------
+CHAIN_RULE_BUGS: Tuple[str, ...] = ("drop-last-round",)
+
+
+def chain_rule_information(
+    protocol: Protocol,
+    input_dist: DiscreteDistribution,
+    *,
+    bug: Optional[str] = None,
+) -> float:
+    """:math:`I(\\Pi; X)` computed as the expected sum of *realized*
+    per-round log-likelihood ratios (the Section 6 chain rule):
+
+    .. math::
+        IC = \\mathbb{E}_{x, \\pi} \\sum_r
+            \\log_2 \\frac{\\eta_r(m_r)}{\\bar\\nu_r(m_r)},
+
+    where :math:`\\eta_r` is the speaker's true message law given its
+    input and :math:`\\bar\\nu_r` the observer's predictive law (the
+    posterior over inputs given the board, pushed through the message
+    laws).  This never calls the mutual-information machinery — the
+    whole computation is Bayes updates along transcripts — so agreement
+    with :func:`repro.core.analysis.external_information_cost` is a
+    genuinely independent identity check.
+
+    Planted bug ``"drop-last-round"`` omits the final round's term from
+    every transcript's sum, mimicking an off-by-one over rounds.
+    """
+    _check_bug(bug, CHAIN_RULE_BUGS)
+    memo = MessageDistributionMemo()
+    per_input = {
+        tuple(x): _legacy_transcript_distribution(protocol, x, None)
+        for x in input_dist.support()
+    }
+    transcripts: Dict[Transcript, None] = {}
+    for dist in per_input.values():
+        for transcript in dist.support():
+            transcripts.setdefault(transcript, None)
+
+    total = 0.0
+    for transcript in transcripts:
+        rounds = list(transcript)
+        limit = len(rounds) - 1 if bug == "drop-last-round" else len(rounds)
+        # weights[x] = p(x) * Pr[board so far | x]; log_eta[x] = running
+        # sum of log2 eta_{x,r}(m_r) over the realized rounds.
+        weights: Dict[Tuple[Any, ...], float] = {
+            tuple(x): p for x, p in input_dist.items() if p > 0.0
+        }
+        log_eta: Dict[Tuple[Any, ...], float] = {x: 0.0 for x in weights}
+        log_nubar = 0.0
+        state = protocol.initial_state()
+        board = Transcript()
+        for round_index, message in enumerate(rounds):
+            speaker = message.speaker
+            by_value: Dict[Any, List[Tuple[Any, ...]]] = {}
+            for x in weights:
+                by_value.setdefault(x[speaker], []).append(x)
+            dists = {
+                value: memo.distribution(protocol, state, speaker, value, board)
+                for value in by_value
+            }
+            mass = sum(weights[x] for x in weights)
+            predicted = (
+                sum(
+                    sum(weights[x] for x in xs) * dists[value][message.bits]
+                    for value, xs in by_value.items()
+                )
+                / mass
+            )
+            for value, xs in by_value.items():
+                p_message = dists[value][message.bits]
+                for x in xs:
+                    if p_message <= 0.0:
+                        weights[x] = 0.0
+                    else:
+                        weights[x] *= p_message
+                        if round_index < limit:
+                            log_eta[x] += math.log2(p_message)
+            weights = {x: w for x, w in weights.items() if w > 0.0}
+            if round_index < limit:
+                log_nubar += math.log2(predicted)
+            state = protocol.advance_state(state, message)
+            board = board.extend(message)
+        for x, weight in weights.items():
+            total += weight * (log_eta[x] - log_nubar)
+    return total
+
+
+# ----------------------------------------------------------------------
+# 4. Lemma 3 product decomposition (reference transcript probability).
+# ----------------------------------------------------------------------
+FACTOR_BUGS: Tuple[str, ...] = ("factor-wrong-player",)
+
+
+def factor_probability(
+    protocol: Protocol,
+    transcript: Transcript,
+    inputs: Sequence[Any],
+    *,
+    bug: Optional[str] = None,
+) -> float:
+    """:math:`\\Pr[\\Pi(inputs) = \\ell]` rebuilt from per-player Lemma 3
+    factors :math:`q_{i, x_i}` accumulated along a replay of the
+    transcript (an independent re-derivation of
+    :func:`repro.lowerbounds.decomposition.transcript_factors`).
+
+    Planted bug ``"factor-wrong-player"`` charges each message's
+    probability to the *next* player (mod k) instead of the speaker —
+    the factorization then uses the wrong input coordinate, breaking the
+    rectangle structure whenever neighbouring players hold different
+    inputs.
+    """
+    _check_bug(bug, FACTOR_BUGS)
+    k = protocol.num_players
+    factors = [1.0] * k
+    state = protocol.initial_state()
+    board = Transcript()
+    for message in transcript:
+        expected = protocol.next_speaker(state, board)
+        if expected != message.speaker:
+            raise ValueError(
+                f"transcript names speaker {message.speaker} but the "
+                f"protocol's turn function says {expected!r}"
+            )
+        speaker = message.speaker
+        charged = (speaker + 1) % k if bug == "factor-wrong-player" else speaker
+        dist = protocol.message_distribution(
+            state, speaker, inputs[charged], board
+        )
+        factors[charged] *= dist[message.bits]
+        state = protocol.advance_state(state, message)
+        board = board.extend(message)
+    product = 1.0
+    for factor in factors:
+        product *= factor
+    return product
+
+
+# ----------------------------------------------------------------------
+# 5. Literal dart loop (reference for the Lemma 7 sampler).
+# ----------------------------------------------------------------------
+DART_BUGS: Tuple[str, ...] = ("half-accept",)
+
+
+def dart_rounds(
+    eta: DiscreteDistribution,
+    nu: DiscreteDistribution,
+    rng: random.Random,
+    universe: Sequence[Any],
+    rounds: int,
+    *,
+    bug: Optional[str] = None,
+) -> Tuple[List[int], List[int], List[bool]]:
+    """Play ``rounds`` literal Lemma 7 rounds and return the per-round
+    ``(total_bits, darts_used, receiver_agreed)`` triples, via a minimal
+    re-implementation of the dart loop (no tracing, no truncation).
+
+    Planted bug ``"half-accept"`` makes the speaker accept a dart only
+    when it lies under *half* of :math:`\\eta`'s curve — the output is
+    still :math:`\\eta`-distributed (conditioning preserves proportions)
+    but the acceptance probability per dart halves, so the expected dart
+    count and the block-index cost both double: exactly the kind of
+    silent inefficiency an acceptance-rate oracle must catch.
+    """
+    _check_bug(bug, DART_BUGS)
+    from ..compression.sampling import (  # local import: keep the copy light
+        SamplingCost,
+        _block_bits,
+        _log_ratio_ceil,
+        _rank_width,
+        _ratio_bits,
+    )
+
+    universe = list(universe)
+    size = len(universe)
+    accept_scale = 0.5 if bug == "half-accept" else 1.0
+    bits_per_round: List[int] = []
+    darts_per_round: List[int] = []
+    agreed: List[bool] = []
+    for _ in range(rounds):
+        darts: List[Tuple[Any, float]] = []
+        accepted_index = None
+        while accepted_index is None:
+            x = universe[rng.randrange(size)]
+            p = rng.random()
+            darts.append((x, p))
+            if p < accept_scale * eta[x]:
+                accepted_index = len(darts)
+        x_star = darts[accepted_index - 1][0]
+        block = (accepted_index + size - 1) // size
+        s = _log_ratio_ceil(eta[x_star], nu[x_star])
+        while 2.0**s * nu[x_star] < eta[x_star]:
+            s += 1
+        scale = 2.0**s
+        block_end = block * size
+        while len(darts) < block_end:
+            x = universe[rng.randrange(size)]
+            darts.append((x, rng.random()))
+        block_start = (block - 1) * size
+        candidates = [
+            index
+            for index in range(block_start, block_end)
+            if darts[index][1] < min(scale * nu[darts[index][0]], 1.0)
+        ]
+        rank = candidates.index(accepted_index - 1) + 1
+        cost = SamplingCost(
+            block_bits=_block_bits(block),
+            ratio_bits=_ratio_bits(s),
+            rank_bits=_rank_width(len(candidates)),
+        )
+        bits_per_round.append(cost.total_bits)
+        darts_per_round.append(accepted_index)
+        agreed.append(darts[candidates[rank - 1]][0] == x_star)
+    return bits_per_round, darts_per_round, agreed
+
+
+# ----------------------------------------------------------------------
+# 6. Monte-Carlo sample collection (reference for the MC estimator).
+# ----------------------------------------------------------------------
+ESTIMATOR_BUGS: Tuple[str, ...] = ("blind-estimator",)
+
+
+def paired_samples(
+    protocol: Protocol,
+    input_dist: DiscreteDistribution,
+    rng: random.Random,
+    trials: int,
+    *,
+    bug: Optional[str] = None,
+) -> List[Tuple[Any, str]]:
+    """``(inputs, transcript bit-string)`` sample pairs for the plug-in
+    MI estimator, collected with :func:`repro.core.runner.run_protocol`.
+
+    Planted bug ``"blind-estimator"`` pairs each recorded input with the
+    transcript of an *independently drawn* input — the pairs then carry
+    no mutual information at all, which the exact-vs-Monte-Carlo oracle
+    must flag whenever the true information cost is positive.
+    """
+    _check_bug(bug, ESTIMATOR_BUGS)
+    from ..core.runner import run_protocol
+
+    pairs: List[Tuple[Any, str]] = []
+    for _ in range(trials):
+        inputs = input_dist.sample(rng)
+        run_inputs = input_dist.sample(rng) if bug == "blind-estimator" else inputs
+        outcome = run_protocol(protocol, run_inputs, rng=rng)
+        pairs.append((inputs, outcome.transcript.bit_string()))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# 7. Model-discipline mutants (wrappers around a generated protocol).
+# ----------------------------------------------------------------------
+DISCIPLINE_BUGS: Tuple[str, ...] = ("broken-prefix", "impure-state")
+
+
+class BrokenPrefixProtocol(Protocol):
+    """Delegates to a base protocol but, whenever the base's message law
+    has several words, replaces the longest word with a *prefix clash*:
+    the shortest word plus a suffix — exactly the self-delimitation bug
+    ``check_prefix_free`` exists to catch."""
+
+    def __init__(self, base: Protocol) -> None:
+        super().__init__(base.num_players)
+        self._base = base
+
+    def initial_state(self) -> Any:
+        return self._base.initial_state()
+
+    def advance_state(self, state: Any, message: Message) -> Any:
+        return self._base.advance_state(state, message)
+
+    def next_speaker(self, state: Any, board: Transcript) -> Optional[int]:
+        return self._base.next_speaker(state, board)
+
+    def output(self, state: Any, board: Transcript) -> Any:
+        return self._base.output(state, board)
+
+    def message_distribution(
+        self, state: Any, player: int, player_input: Any, board: Transcript
+    ) -> DiscreteDistribution:
+        dist = self._base.message_distribution(state, player, player_input, board)
+        words = sorted(dist.support(), key=len)
+        if len(words) < 2:
+            return dist
+        shortest, longest = words[0], words[-1]
+        clash = shortest + "0"
+        probs = {
+            (clash if word == longest else word): p for word, p in dist.items()
+        }
+        return DiscreteDistribution(probs, normalize=True)
+
+
+class ImpureStateProtocol(Protocol):
+    """Delegates to a base protocol but stamps every state with a global
+    ``advance_state`` call counter *and lets the turn function read it*:
+    when the stamp is odd the protocol halts early.  Incrementally-
+    maintained states and :meth:`Protocol.replay_state`'s from-scratch
+    fold reach the same board via different call sequences, so their
+    stamps (and hence their halting decisions) diverge — the replay-
+    consistency violation ``validate_protocol`` checks for.  (A pure
+    ``advance_state`` bug cannot trip that check, and a stamp that no
+    hook reads is behaviorally invisible: replay folds through the very
+    same function, so the defect has to be impure *and* observable.)
+    """
+
+    def __init__(self, base: Protocol) -> None:
+        super().__init__(base.num_players)
+        self._base = base
+        self._calls = 0
+
+    def initial_state(self) -> Any:
+        return (self._base.initial_state(), 0)
+
+    def advance_state(self, state: Any, message: Message) -> Any:
+        base_state, _stamp = state
+        self._calls += 1
+        return (self._base.advance_state(base_state, message), self._calls)
+
+    def next_speaker(self, state: Any, board: Transcript) -> Optional[int]:
+        base_state, stamp = state
+        if stamp % 2 == 1:
+            return None  # the stale stamp leaks into control flow
+        return self._base.next_speaker(base_state, board)
+
+    def output(self, state: Any, board: Transcript) -> Any:
+        return self._base.output(state[0], board)
+
+    def message_distribution(
+        self, state: Any, player: int, player_input: Any, board: Transcript
+    ) -> DiscreteDistribution:
+        return self._base.message_distribution(
+            state[0], player, player_input, board
+        )
+
+
+def wrap_discipline_bug(base: Protocol, bug: str) -> Protocol:
+    """The mutant protocol for a model-discipline planted bug."""
+    _check_bug(bug, DISCIPLINE_BUGS)
+    if bug == "broken-prefix":
+        return BrokenPrefixProtocol(base)
+    return ImpureStateProtocol(base)

@@ -1,0 +1,391 @@
+"""The differential oracle inventory of the fuzz harness.
+
+Each oracle takes one generated case (:class:`repro.check.generator.
+GeneratedCase`) and checks one cross-layer agreement property:
+
+==================== ==================================================
+``model-discipline``  ``core.validate`` certifies the generated
+                      protocol (prefix-freeness everywhere, replay
+                      consistency, board-determined speakers).
+``batched-vs-legacy`` the batched tree walk is *bit-identical* to an
+                      independent per-input DFS reference.
+``exact-vs-mc``       the exact analyzer's information cost lies in the
+                      Monte-Carlo estimator's bootstrap interval
+                      (widened by the plug-in bias allowance).
+``cic-closed-form``   the O(k) closed-form CIC equals both a naive
+                      O(k²) re-derivation and exact tree enumeration on
+                      the Section 4 hard distribution.
+``sampler``           the literal Lemma 7 dart loop's acceptance rate
+                      and mean cost match the exact analytic moments of
+                      :func:`repro.compression.sampling.
+                      expected_round_cost`; the receiver always agrees.
+``invariants``        the paper's structural identities on the
+                      generated case: 0 ≤ IC ≤ H(Π) ≤ E[|Π|], the
+                      round-by-round chain rule reproduces IC, and
+                      Lemma 3's product decomposition reproduces every
+                      transcript probability.
+==================== ==================================================
+
+Every oracle carries a ``bugs`` tuple naming the planted defects of
+:mod:`repro.check.mutations` it is proven to catch (its mutation
+self-test); passing one of those names to :meth:`Oracle.check` routes
+the mutated reference/implementation into the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.analysis import expected_communication, transcript_joint
+from ..core.tree import batched_joint_transcript_distribution, transcript_distribution
+from ..core.validate import validate_protocol
+from ..information.entropy import entropy, mutual_information
+from ..information.estimation import (
+    bootstrap_mutual_information_interval,
+    plugin_mutual_information,
+)
+from ..lowerbounds.analytic import sequential_and_cic_closed_form
+from ..lowerbounds.hard_distribution import and_hard_distribution
+from . import mutations
+from .generator import GeneratedCase, derive_rng
+
+__all__ = [
+    "OracleResult",
+    "Oracle",
+    "DisciplineOracle",
+    "BatchedTreeOracle",
+    "MonteCarloOracle",
+    "ClosedFormOracle",
+    "SamplerOracle",
+    "InvariantsOracle",
+    "ALL_ORACLES",
+    "oracle_by_name",
+]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one oracle on one case."""
+
+    oracle: str
+    ok: bool
+    details: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"oracle": self.oracle, "ok": self.ok, "details": self.details}
+
+
+class Oracle:
+    """Base class: a named check with a tuple of plantable bugs."""
+
+    #: Oracle name (stable; used by the CLI's ``--oracles`` filter and in
+    #: repro bundles).
+    name: str = ""
+    #: Planted-bug names (see :mod:`repro.check.mutations`) this oracle's
+    #: mutation self-test proves it catches.
+    bugs: Tuple[str, ...] = ()
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        raise NotImplementedError
+
+    def _fail(self, details: str) -> OracleResult:
+        return OracleResult(oracle=self.name, ok=False, details=details)
+
+    def _ok(self, details: str = "") -> OracleResult:
+        return OracleResult(oracle=self.name, ok=True, details=details)
+
+
+class DisciplineOracle(Oracle):
+    """``validate_protocol`` must certify every generated instance."""
+
+    name = "model-discipline"
+    bugs = mutations.DISCIPLINE_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        protocol = case.protocol
+        if bug is not None:
+            protocol = mutations.wrap_discipline_bug(protocol, bug)
+        report = validate_protocol(protocol, case.input_tuples)
+        if not report.ok:
+            return self._fail(
+                "validate_protocol rejected the instance: "
+                + "; ".join(report.problems[:3])
+            )
+        return self._ok(f"{report.states_checked} boards certified")
+
+
+class BatchedTreeOracle(Oracle):
+    """Batched walk vs independent per-input DFS — bit-identical."""
+
+    name = "batched-vs-legacy"
+    bugs = mutations.TREE_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        scenarios = case.input_dist.map(lambda x: (x,))
+        subject = batched_joint_transcript_distribution(
+            case.protocol, scenarios, names=("inputs",)
+        )
+        reference = mutations.legacy_joint_transcript_distribution(
+            case.protocol, scenarios, names=("inputs",), bug=bug
+        )
+        if subject.names != reference.names:
+            return self._fail(
+                f"component names differ: {subject.names} vs {reference.names}"
+            )
+        subject_items = list(subject.items())
+        reference_items = list(reference.items())
+        if subject_items != reference_items:
+            detail = _first_item_mismatch(subject_items, reference_items)
+            return self._fail(f"joint laws are not bit-identical: {detail}")
+        return self._ok(f"{len(subject_items)} joint outcomes bit-identical")
+
+
+def _first_item_mismatch(
+    subject: List[Tuple[Any, float]], reference: List[Tuple[Any, float]]
+) -> str:
+    if len(subject) != len(reference):
+        return f"{len(subject)} outcomes vs {len(reference)}"
+    for position, (ours, theirs) in enumerate(zip(subject, reference)):
+        if ours != theirs:
+            return f"first divergence at item {position}: {ours!r} vs {theirs!r}"
+    return "unreachable"
+
+
+class MonteCarloOracle(Oracle):
+    """Exact IC inside the MC estimator's (bias-widened) interval.
+
+    The plug-in estimator is biased upward by roughly
+    ``|supp X| * |supp Π| / (2 T ln 2)`` bits (the Miller–Madow residual
+    scale), so the bootstrap interval is widened by exactly that
+    allowance plus a fixed 0.1-bit floor.  Cases whose transcript space
+    is large relative to the trial budget are skipped — the estimator is
+    documented as out of contract there (see ``core.montecarlo``).
+    """
+
+    name = "exact-vs-mc"
+    bugs = mutations.ESTIMATOR_BUGS
+    trials = 400
+    replicates = 60
+    max_transcripts = 32
+    max_inputs = 16
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        joint = transcript_joint(case.protocol, case.input_dist)
+        transcript_support = len(joint.marginal("transcript").support())
+        input_support = len(case.input_dist.support())
+        if (
+            transcript_support > self.max_transcripts
+            or input_support > self.max_inputs
+        ):
+            return self._ok(
+                f"skipped: support {input_support}x{transcript_support} "
+                f"exceeds the {self.trials}-trial estimator contract"
+            )
+        exact = mutual_information(joint, "transcript", "inputs")
+        rng = derive_rng(case.spec.seed, "mc-oracle")
+        pairs = mutations.paired_samples(
+            case.protocol, case.input_dist, rng, self.trials, bug=bug
+        )
+        estimate = plugin_mutual_information(pairs, miller_madow=True)
+        lo, hi = bootstrap_mutual_information_interval(
+            pairs, rng=rng, replicates=self.replicates
+        )
+        slack = 0.1 + (input_support * transcript_support) / (
+            2.0 * self.trials * math.log(2.0)
+        )
+        if not lo - slack <= exact <= hi + slack:
+            return self._fail(
+                f"exact IC {exact:.4f} outside widened bootstrap interval "
+                f"[{lo - slack:.4f}, {hi + slack:.4f}] "
+                f"(estimate {estimate:.4f}, {self.trials} trials)"
+            )
+        return self._ok(
+            f"exact {exact:.4f} in [{lo - slack:.4f}, {hi + slack:.4f}]"
+        )
+
+
+class ClosedFormOracle(Oracle):
+    """O(k) closed-form CIC vs a naive O(k²) copy vs exact enumeration.
+
+    The closed form only exists for the sequential AND protocol, so this
+    oracle derives ``k`` from the case index (cycling 2..5, the range
+    the exact tree machinery enumerates quickly) rather than from the
+    generated protocol itself.
+    """
+
+    name = "cic-closed-form"
+    bugs = mutations.CLOSED_FORM_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        from ..core.analysis import conditional_information_cost
+        from ..protocols import SequentialAndProtocol
+
+        k = 2 + (case.index % 4 if case.index >= 0 else case.spec.seed % 4)
+        production = sequential_and_cic_closed_form(k)
+        reference = mutations.closed_form_cic(k, bug=bug)
+        if abs(production - reference) > 1e-12:
+            return self._fail(
+                f"k={k}: closed form {production:.12f} != naive "
+                f"re-derivation {reference:.12f}"
+            )
+        exact = conditional_information_cost(
+            SequentialAndProtocol(k), and_hard_distribution(k)
+        )
+        if abs(production - exact) > 1e-9:
+            return self._fail(
+                f"k={k}: closed form {production:.12f} != exact "
+                f"enumeration {exact:.12f}"
+            )
+        return self._ok(f"k={k}: closed form == naive == enumeration")
+
+
+class SamplerOracle(Oracle):
+    """Dart-loop acceptance rate and mean cost vs analytic expectation.
+
+    The (η, ν) pair is derived from the case seed over a universe of
+    2–5 messages.  With N rounds, the empirical dart count has standard
+    error ``sqrt(|U|(|U|-1)/N)`` (geometric) and the empirical bit cost
+    ``std_bits/sqrt(N)`` (exact, from the second moment) — both checks
+    use a z = 6 band, so a false alarm is a < 1e-8 event per case even
+    if the seed were redrawn.
+    """
+
+    name = "sampler"
+    bugs = mutations.DART_BUGS
+    rounds = 150
+    z = 6.0
+
+    def _pair(self, case: GeneratedCase):
+        rng = derive_rng(case.spec.seed, "sampler-pair")
+        size = rng.randint(2, 5)
+        universe = list(range(size))
+        from ..information.distribution import DiscreteDistribution
+
+        eta = DiscreteDistribution(
+            {x: rng.random() + 0.05 for x in universe}, normalize=True
+        )
+        nu = DiscreteDistribution(
+            {x: rng.random() + 0.05 for x in universe}, normalize=True
+        )
+        return eta, nu, universe
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        from ..compression.sampling import expected_round_cost
+
+        eta, nu, universe = self._pair(case)
+        moments = expected_round_cost(eta, nu, universe)
+        rng = derive_rng(case.spec.seed, "sampler-rounds")
+        bits, darts, agreed = mutations.dart_rounds(
+            eta, nu, rng, universe, self.rounds, bug=bug
+        )
+        if not all(agreed):
+            return self._fail(
+                f"receiver disagreed on {agreed.count(False)}/{self.rounds} "
+                "rounds"
+            )
+        size = len(universe)
+        mean_darts = sum(darts) / self.rounds
+        dart_band = self.z * math.sqrt(size * (size - 1.0) / self.rounds) + 1e-9
+        if abs(mean_darts - moments.mean_darts) > dart_band:
+            return self._fail(
+                f"acceptance rate off: mean darts {mean_darts:.3f} vs "
+                f"analytic {moments.mean_darts:.3f} (band ±{dart_band:.3f})"
+            )
+        mean_bits = sum(bits) / self.rounds
+        bits_band = self.z * moments.std_bits / math.sqrt(self.rounds) + 1e-9
+        if abs(mean_bits - moments.mean_bits) > bits_band:
+            return self._fail(
+                f"cost off: mean bits {mean_bits:.3f} vs analytic "
+                f"{moments.mean_bits:.3f} (band ±{bits_band:.3f})"
+            )
+        return self._ok(
+            f"|U|={size}: darts {mean_darts:.2f}~{moments.mean_darts:.2f}, "
+            f"bits {mean_bits:.2f}~{moments.mean_bits:.2f}"
+        )
+
+
+class InvariantsOracle(Oracle):
+    """The paper's structural identities on the generated case itself."""
+
+    name = "invariants"
+    bugs = mutations.CHAIN_RULE_BUGS + mutations.FACTOR_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        if bug is not None and bug not in self.bugs:
+            raise ValueError(
+                f"unknown planted bug {bug!r}; known: {self.bugs}"
+            )
+        protocol, input_dist = case.protocol, case.input_dist
+        joint = transcript_joint(protocol, input_dist)
+        ic = mutual_information(joint, "transcript", "inputs")
+        transcript_entropy = entropy(joint.marginal("transcript"))
+        communication = expected_communication(protocol, input_dist)
+        if ic < -1e-9:
+            return self._fail(f"negative information cost {ic!r}")
+        if ic > transcript_entropy + 1e-9:
+            return self._fail(
+                f"IC {ic:.9f} exceeds transcript entropy "
+                f"{transcript_entropy:.9f}"
+            )
+        if transcript_entropy > communication + 1e-9:
+            return self._fail(
+                f"transcript entropy {transcript_entropy:.9f} exceeds "
+                f"expected communication {communication:.9f} (Kraft "
+                "violation: messages are prefix-free)"
+            )
+        chain_bug = bug if bug in mutations.CHAIN_RULE_BUGS else None
+        chain = mutations.chain_rule_information(protocol, input_dist, bug=chain_bug)
+        if abs(chain - ic) > 1e-6:
+            return self._fail(
+                f"chain rule broke: realized-divergence sum {chain:.9f} "
+                f"!= IC {ic:.9f}"
+            )
+        factor_bug = bug if bug in mutations.FACTOR_BUGS else None
+        mismatch = self._lemma3_mismatch(case, factor_bug)
+        if mismatch is not None:
+            return self._fail(mismatch)
+        return self._ok(
+            f"IC {ic:.4f} <= H {transcript_entropy:.4f} <= CC "
+            f"{communication:.4f}; chain rule and Lemma 3 hold"
+        )
+
+    @staticmethod
+    def _lemma3_mismatch(
+        case: GeneratedCase, bug: Optional[str]
+    ) -> Optional[str]:
+        for inputs in case.input_tuples:
+            exact = transcript_distribution(case.protocol, inputs)
+            for transcript, probability in exact.items():
+                rebuilt = mutations.factor_probability(
+                    case.protocol, transcript, inputs, bug=bug
+                )
+                if abs(rebuilt - probability) > 1e-9:
+                    return (
+                        f"Lemma 3 product {rebuilt:.9f} != transcript "
+                        f"probability {probability:.9f} for inputs "
+                        f"{inputs} and transcript {transcript.bit_string()!r}"
+                    )
+        return None
+
+
+#: The full inventory, in the order the harness runs them (cheap and
+#: structural first so a malformed case fails fast).
+ALL_ORACLES: Tuple[Oracle, ...] = (
+    DisciplineOracle(),
+    BatchedTreeOracle(),
+    InvariantsOracle(),
+    ClosedFormOracle(),
+    SamplerOracle(),
+    MonteCarloOracle(),
+)
+
+
+def oracle_by_name(name: str) -> Oracle:
+    for oracle in ALL_ORACLES:
+        if oracle.name == name:
+            return oracle
+    raise KeyError(
+        f"unknown oracle {name!r}; known: {[o.name for o in ALL_ORACLES]}"
+    )

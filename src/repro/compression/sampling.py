@@ -69,8 +69,10 @@ __all__ = [
     "SamplingCost",
     "SampledMessage",
     "NaiveDartResult",
+    "RoundCostMoments",
     "run_naive_dart_protocol",
     "simulate_sampling_round",
+    "expected_round_cost",
     "lemma7_cost_bound",
     "curve_masses",
 ]
@@ -506,6 +508,166 @@ def simulate_sampling_round(
         darts_rejected=(i - 1) if small_universe else None,
     )
     return message
+
+
+# ----------------------------------------------------------------------
+# Exact cost moments (no sampling at all).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundCostMoments:
+    """Exact first and second moments of one Lemma 7 round's cost.
+
+    Computed from the joint law of everything the speaker communicates
+    (see :func:`expected_round_cost`); ``mean_darts`` is the exact
+    expected number of darts the naive path throws before accepting,
+    which is :math:`|U|` (per-dart acceptance probability is exactly
+    :math:`\\sum_x \\frac{1}{|U|} \\eta(x) = 1/|U|`).
+    """
+
+    mean_bits: float
+    second_moment_bits: float
+    mean_darts: float
+
+    @property
+    def variance_bits(self) -> float:
+        return max(self.second_moment_bits - self.mean_bits**2, 0.0)
+
+    @property
+    def std_bits(self) -> float:
+        return math.sqrt(self.variance_bits)
+
+
+def _binomial_pmf(n: int, p: float) -> List[float]:
+    """The full Binomial(n, p) pmf (n is a universe size here, so tiny)."""
+    pmf = [0.0] * (n + 1)
+    q = 1.0 - p
+    value = q**n if q > 0.0 else (1.0 if n == 0 else 0.0)
+    pmf[0] = value
+    for c in range(n):
+        if q <= 0.0:
+            pmf[n] = 1.0
+            break
+        value *= (n - c) / (c + 1.0) * (p / q)
+        pmf[c + 1] = value
+    return pmf
+
+
+def expected_round_cost(
+    eta: DiscreteDistribution,
+    nu: DiscreteDistribution,
+    universe: Sequence[Any],
+    *,
+    tail_epsilon: float = 1e-12,
+) -> RoundCostMoments:
+    """The exact mean and second moment of ``cost.total_bits`` for one
+    (un-truncated) Lemma 7 round over ``universe``.
+
+    This is the analytic counterpart of averaging
+    :func:`run_naive_dart_protocol` (equivalently
+    :func:`simulate_sampling_round` with an explicit universe — the fast
+    path samples the same joint law) over infinitely many trials, and is
+    what the statistical-tolerance tests and the fuzz harness's sampler
+    oracle compare the empirical means against.
+
+    Derivation.  Condition on the accepted value :math:`x^* \\sim \\eta`
+    (independent of the accepted dart index :math:`i`, which is
+    Geometric(:math:`1/|U|`)).  Write :math:`i = (b-1)|U| + m` with block
+    :math:`b \\ge 1` and within-block position :math:`m \\in [1, |U|]`;
+    the geometric pmf factorizes, so the block and the position are
+    *independent*.  Given :math:`(x^*, m)`, the other darts of the block
+    are i.i.d. — the :math:`m-1` rejected darts before the accepted one
+    land in :math:`P'` with probability
+    :math:`(A_g - A_{g\\wedge\\eta}) / (|U| - 1)` each and the
+    :math:`|U| - m` darts after it with probability :math:`A_g / |U|` —
+    so the rank width is a functional of two small binomials, enumerated
+    exactly.  The block series is truncated once its remaining geometric
+    mass drops below ``tail_epsilon`` (each block contributes a factor
+    :math:`(1 - 1/|U|)^{|U|} \\le e^{-1}`, so ~30 blocks suffice).
+    """
+    universe = list(universe)
+    size = len(universe)
+    if size < 1:
+        raise ValueError("universe must be non-empty")
+    if not set(eta.support()).issubset(set(universe)):
+        raise ValueError("universe must cover the support of eta")
+    if not 0.0 < tail_epsilon < 1.0:
+        raise ValueError(f"tail_epsilon must lie in (0, 1), got {tail_epsilon!r}")
+
+    p_accept = 1.0 / size
+    q = 1.0 - p_accept
+    block_factor = q**size  # P[no dart of a block accepts]
+
+    # Block-bits moments: P[B = b] = q^{(b-1)|U|} (1 - q^{|U|}).
+    block_mean = 0.0
+    block_second = 0.0
+    b = 1
+    tail = 1.0  # P[B >= b]
+    while tail > tail_epsilon:
+        p_block = tail * (1.0 - block_factor)
+        bits = _block_bits(b)
+        block_mean += p_block * bits
+        block_second += p_block * bits * bits
+        tail *= block_factor
+        b += 1
+    # Charge the (provably tiny) truncated tail at the last block's cost
+    # so the moments remain a distribution's moments up to tail_epsilon.
+    if tail > 0.0:
+        bits = _block_bits(b)
+        block_mean += tail * bits
+        block_second += tail * bits * bits
+
+    # Position pmf: P[m] = q^{m-1} p / (1 - q^{|U|}), m = 1..|U|.
+    position_pmf = [
+        (q ** (m - 1)) * p_accept / (1.0 - block_factor)
+        for m in range(1, size + 1)
+    ]
+
+    mean_bits = 0.0
+    second_bits = 0.0
+    for x, eta_x in eta.items():
+        if eta_x <= 0.0:
+            continue
+        s = _log_ratio_ceil(eta_x, nu[x])
+        while 2.0**s * nu[x] < eta_x:  # the same round-off guard as the
+            s += 1                     # naive path
+        a_g, a_g_eta = curve_masses(eta, nu, s, universe)
+        p_before = max(a_g - a_g_eta, 0.0) / max(size - 1.0, 1.0)
+        p_after = a_g / size
+        ratio = _ratio_bits(s)
+
+        rank_mean = 0.0
+        rank_second = 0.0
+        for m in range(1, size + 1):
+            before_pmf = _binomial_pmf(m - 1, min(p_before, 1.0))
+            after_pmf = _binomial_pmf(size - m, min(p_after, 1.0))
+            conditional_mean = 0.0
+            conditional_second = 0.0
+            for count_before, p_b in enumerate(before_pmf):
+                for count_after, p_a in enumerate(after_pmf):
+                    width = _rank_width(1 + count_before + count_after)
+                    weight = p_b * p_a
+                    conditional_mean += weight * width
+                    conditional_second += weight * width * width
+            rank_mean += position_pmf[m - 1] * conditional_mean
+            rank_second += position_pmf[m - 1] * conditional_second
+
+        # Block bits are independent of (position, rank bits); ratio bits
+        # are deterministic given x*.
+        mean_x = block_mean + ratio + rank_mean
+        second_x = (
+            block_second
+            + ratio * ratio
+            + rank_second
+            + 2.0 * (block_mean * ratio + block_mean * rank_mean + ratio * rank_mean)
+        )
+        mean_bits += eta_x * mean_x
+        second_bits += eta_x * second_x
+
+    return RoundCostMoments(
+        mean_bits=mean_bits,
+        second_moment_bits=second_bits,
+        mean_darts=float(size),
+    )
 
 
 # ----------------------------------------------------------------------

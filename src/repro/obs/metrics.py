@@ -41,6 +41,9 @@ Metric naming used by the instrumented subsystems:
 ``sampler_bits`` (histogram)          total bits per sampled message
 ``mc_trials``                         Monte-Carlo protocol executions
 ``mc_bootstrap_replicates``           bootstrap resamples computed
+``check_cases``                       fuzz cases finished, by verdict
+``check_oracle_runs``                 oracle checks, by oracle and verdict
+``check_failures``                    failing oracle checks, by oracle
 ====================================  =======================================
 """
 

@@ -25,9 +25,13 @@ from .public_coin import (
     mixture_expected_communication,
     mixture_information_cost,
 )
+from .registry import ALL_PROTOCOLS, ProtocolCase, protocol_case
 from .union import UnionProtocol
 
 __all__ = [
+    "ALL_PROTOCOLS",
+    "ProtocolCase",
+    "protocol_case",
     "SequentialAndProtocol",
     "FullBroadcastAndProtocol",
     "NoisySequentialAndProtocol",

@@ -1,0 +1,77 @@
+"""Statistical-tolerance test tying the measured Lemma 7 sampler cost to
+the closed-form expectation in ``compression.sampling``.
+
+``expected_round_cost`` computes the *exact* per-round cost moments of
+the dart protocol (mean bits, second moment, mean darts) by enumerating
+block/position/rank laws.  This test runs both implementations — the
+literal dart protocol and the exact-law fast simulator — with a fixed
+seed and asserts their empirical means land inside a ``z = 6`` band
+around the analytic mean, with the band width taken from the analytic
+standard deviation.
+
+Failure probability
+-------------------
+Each comparison is a two-sided z-test at z = 6: by the Chernoff bound
+the false-alarm probability per comparison is below 2·exp(-36/2) < 4e-8
+(the CLT approximation gives ~2e-9).  With 2 spreads × 3 comparisons
+the whole test trips spuriously with probability < 3e-7 — and since the
+seed is fixed, a given release either always passes or always fails;
+there is no flakiness in CI, only a one-time 3e-7 chance of having
+pinned an unlucky seed.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.compression.sampling import (
+    expected_round_cost,
+    run_naive_dart_protocol,
+    simulate_sampling_round,
+)
+from repro.experiments.e7_sampling_cost import make_pair
+
+Z = 6.0
+ROUNDS = 3000
+
+
+@pytest.mark.parametrize("spread", [1.0, 6.0])
+def test_measured_cost_matches_analytic_expectation(spread):
+    eta, nu = make_pair(spread)
+    universe = sorted(set(eta.support()) | set(nu.support()))
+    moments = expected_round_cost(eta, nu, universe)
+    band = Z * moments.std_bits / math.sqrt(ROUNDS)
+
+    rng = random.Random(20260806)
+    naive_bits = naive_darts = 0
+    for _ in range(ROUNDS):
+        result = run_naive_dart_protocol(eta, nu, rng, universe)
+        assert result.agreed
+        naive_bits += result.message.cost.total_bits
+        naive_darts += result.darts_used
+    fast_bits = sum(
+        simulate_sampling_round(eta, nu, rng, universe=universe)
+        .cost.total_bits
+        for _ in range(ROUNDS)
+    )
+
+    assert abs(naive_bits / ROUNDS - moments.mean_bits) <= band
+    assert abs(fast_bits / ROUNDS - moments.mean_bits) <= band
+
+    # The accepted dart index is Geometric(1/|U|): mean |U|, variance
+    # |U|(|U|-1).
+    size = len(universe)
+    dart_band = Z * math.sqrt(size * (size - 1) / ROUNDS)
+    assert abs(naive_darts / ROUNDS - moments.mean_darts) <= dart_band
+    assert abs(moments.mean_darts - size) <= 1e-9
+
+
+def test_moments_are_internally_consistent():
+    eta, nu = make_pair(4.0)
+    universe = sorted(set(eta.support()) | set(nu.support()))
+    moments = expected_round_cost(eta, nu, universe)
+    assert moments.mean_bits > 0
+    assert moments.variance_bits >= 0
+    assert moments.second_moment_bits >= moments.mean_bits**2
+    assert moments.std_bits == math.sqrt(moments.variance_bits)

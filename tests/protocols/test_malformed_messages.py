@@ -6,12 +6,26 @@ the decoders in the shipped protocols are therefore exposed to whatever
 bit strings appear on the board.  These tests feed corrupted messages
 through ``advance_state`` and assert a clean ``ProtocolViolation`` (or
 bit-reader error), never a wrong silent parse.
+
+Two layers of coverage:
+
+* hand-built corruptions targeting the specific decoders of the
+  disjointness/union protocols (the classes below), and
+* a generator-produced sweep (``TestAdversarialBoards``) over *every*
+  registry protocol: at each explored board the legitimate next
+  messages are truncated, extended, bit-flipped, and swapped with
+  prefixes of sibling messages, and each corruption must either raise a
+  clean decoder error or be provably unsendable (zero probability under
+  every input, so it can never reach a real board).
 """
 
 import pytest
 
+from repro.check.generator import derive_rng
 from repro.core import Message, ProtocolViolation, Transcript
+from repro.core.validate import reachable_boards
 from repro.protocols import (
+    ALL_PROTOCOLS,
     NaiveDisjointnessProtocol,
     OptimalDisjointnessProtocol,
     UnionProtocol,
@@ -82,3 +96,83 @@ class TestUnionProtocolDecoder:
         bits = "0" + "00"
         with pytest.raises((ProtocolViolation, ValueError)):
             p.advance_state(p.initial_state(), Message(0, bits))
+
+
+# Exception types a decoder may raise on malformed input.  Anything else
+# (AttributeError, TypeError, ...) indicates the decoder fell over
+# instead of rejecting, and fails the sweep.
+CLEAN_DECODER_ERRORS = (ProtocolViolation, EOFError, ValueError, KeyError, IndexError)
+
+MAX_BOARDS_PER_CASE = 40
+MAX_INPUTS_PER_CASE = 8
+MAX_CORRUPTIONS_PER_BOARD = 24
+
+
+def _corruptions(rng, messages):
+    """Adversarial variants of a board's legitimate next messages:
+    truncations, extensions, single-bit flips, and prefix swaps between
+    sibling messages."""
+    ordered = sorted(messages)
+    variants = []
+    for bits in ordered:
+        if len(bits) > 1:
+            variants.append(bits[:-1])  # truncated
+            variants.append(bits[: rng.randrange(1, len(bits))])
+        variants.append(bits + str(rng.randrange(2)))  # extended
+        flip = rng.randrange(len(bits))  # bit flip
+        variants.append(
+            bits[:flip] + ("1" if bits[flip] == "0" else "0") + bits[flip + 1 :]
+        )
+    for bits in ordered:  # swapped prefixes between siblings
+        other = ordered[rng.randrange(len(ordered))]
+        if other != bits:
+            cut = rng.randrange(1, max(2, min(len(bits), len(other))))
+            variants.append(other[:cut] + bits[cut:])
+    rng.shuffle(variants)
+    return variants[:MAX_CORRUPTIONS_PER_BOARD]
+
+
+@pytest.mark.parametrize(
+    "case", ALL_PROTOCOLS, ids=[case.name for case in ALL_PROTOCOLS]
+)
+def test_adversarial_boards(case):
+    """Sweep every registry protocol with generator-produced corrupted
+    messages at each explored board.
+
+    A corruption that coincides with another legitimate message must be
+    accepted.  Any other corruption must either (a) raise one of the
+    clean decoder errors, or (b) be unsendable: zero probability under
+    *every* input at that board, so no execution can ever place it on a
+    real board and a lenient parse is unobservable.
+    """
+    protocol = case.build()
+    inputs = case.input_tuples()[:MAX_INPUTS_PER_CASE]
+    rng = derive_rng("adversarial-boards", case.name)
+    boards_seen = 0
+    for state, board, speaker, messages in reachable_boards(protocol, inputs):
+        if boards_seen >= MAX_BOARDS_PER_CASE:
+            break
+        boards_seen += 1
+        if not messages:
+            continue
+        for bits in _corruptions(rng, messages):
+            if bits in messages:
+                # Collides with a legitimate sibling message: the
+                # decoder must accept it without raising.
+                protocol.advance_state(state, Message(speaker, bits))
+                continue
+            try:
+                protocol.advance_state(state, Message(speaker, bits))
+            except CLEAN_DECODER_ERRORS:
+                continue  # rejected cleanly
+            # Parsed without error: tolerable only if unsendable.
+            for raw in inputs:
+                dist = protocol.message_distribution(
+                    state, speaker, raw[speaker], board
+                )
+                assert dist[bits] == 0.0, (
+                    f"{case.name}: corrupted message {bits!r} at board "
+                    f"{board.bit_string()!r} parsed silently yet is "
+                    f"sendable under input {raw!r}"
+                )
+    assert boards_seen > 0

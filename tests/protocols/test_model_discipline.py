@@ -6,160 +6,106 @@ board state the union (over inputs) of possible next messages is
 prefix-free, and (c) board-state folding (`advance_state`) agrees with
 re-deriving the state from scratch (`replay_state`).  These properties
 are what make the Lemma 3 decomposition and the whole exact analysis
-sound, so we verify them mechanically for each protocol.
+sound.
+
+Coverage is registry-driven: the sweep runs over
+``repro.protocols.ALL_PROTOCOLS`` (every shipped protocol class with a
+certified input family — promise, union and optimal-disjointness
+included), and a completeness test asserts no ``Protocol`` subclass
+exported by ``repro.protocols`` is missing from the registry, so a new
+protocol cannot silently dodge these checks.  The mechanical per-board
+validation itself is ``repro.core.validate.validate_protocol`` — the
+same certifier the fuzz harness (``repro.check``) applies to generated
+protocols.
 """
 
-import itertools
+import inspect
 import random
 
 import pytest
 
-from repro.core import (
-    Transcript,
-    check_prefix_free,
-    run_protocol,
-)
-from repro.protocols import (
-    FullBroadcastAndProtocol,
-    NaiveDisjointnessProtocol,
-    NoisySequentialAndProtocol,
-    OptimalDisjointnessProtocol,
-    SequentialAndProtocol,
-    TrivialDisjointnessProtocol,
-    TwoPartyDisjointnessProtocol,
-    TwoPartySparseIntersectionProtocol,
-    UnionProtocol,
-)
+import repro.protocols as protocols_package
+from repro.core import Transcript, run_protocol
+from repro.core.model import Protocol
+from repro.core.validate import validate_protocol
+from repro.protocols import ALL_PROTOCOLS, ProtocolCase
+
+CASE_IDS = [case.name for case in ALL_PROTOCOLS]
 
 
-def boolean_protocol_cases():
-    return [
-        (SequentialAndProtocol(4), list(itertools.product((0, 1), repeat=4))),
-        (FullBroadcastAndProtocol(3), list(itertools.product((0, 1), repeat=3))),
-        (
-            NoisySequentialAndProtocol(3, 0.2),
-            list(itertools.product((0, 1), repeat=3)),
-        ),
-    ]
-
-
-def disjointness_protocol_cases():
-    cases = []
-    n, k = 3, 2
-    inputs = list(itertools.product(range(1 << n), repeat=k))
-    for cls in (
-        TrivialDisjointnessProtocol,
-        NaiveDisjointnessProtocol,
-        OptimalDisjointnessProtocol,
-        UnionProtocol,
-    ):
-        cases.append((cls(n, k), inputs))
-    cases.append((TwoPartyDisjointnessProtocol(3), inputs))
-    sparse_inputs = [
-        (a, b)
-        for a in range(1 << 3)
-        for b in range(1 << 3)
-        if bin(a).count("1") <= 2
-    ]
-    cases.append((TwoPartySparseIntersectionProtocol(3, 2), sparse_inputs))
-    return cases
-
-
-ALL_CASES = boolean_protocol_cases() + disjointness_protocol_cases()
-
-
-def reachable_states(protocol, input_tuples):
-    """BFS over all (board, state) pairs reachable from the given inputs,
-    yielding (state, board, speaker, message_set_across_inputs)."""
-    frontier = [(protocol.initial_state(), Transcript())]
-    seen = {Transcript()}
-    while frontier:
-        state, board = frontier.pop()
-        speaker = protocol.next_speaker(state, board)
-        if speaker is None:
-            continue
-        messages = set()
-        for inputs in input_tuples:
-            # Skip inputs that cannot reach this board.
-            if not _board_reachable(protocol, board, inputs):
-                continue
-            dist = protocol.message_distribution(
-                state, speaker, inputs[speaker], board
-            )
-            messages.update(dist.support())
-        yield state, board, speaker, messages
-        for bits in messages:
-            from repro.core import Message
-
-            message = Message(speaker, bits)
-            new_board = board.extend(message)
-            if new_board not in seen:
-                seen.add(new_board)
-                frontier.append(
-                    (protocol.advance_state(state, message), new_board)
-                )
-
-
-def _board_reachable(protocol, board, inputs):
-    """Whether `inputs` can generate `board` with positive probability."""
-    state = protocol.initial_state()
-    current = Transcript()
-    for message in board:
-        speaker = protocol.next_speaker(state, current)
-        if speaker != message.speaker:
-            return False
-        dist = protocol.message_distribution(
-            state, speaker, inputs[speaker], current
-        )
-        if dist[message.bits] <= 0.0:
-            return False
-        state = protocol.advance_state(state, message)
-        current = current.extend(message)
-    return True
-
-
-@pytest.mark.parametrize(
-    "protocol,inputs",
-    ALL_CASES,
-    ids=lambda case: type(case).__name__ if hasattr(case, "num_players") else "",
-)
+@pytest.mark.parametrize("case", ALL_PROTOCOLS, ids=CASE_IDS)
 class TestDiscipline:
-    def test_prefix_free_at_every_reachable_state(self, protocol, inputs):
-        for _state, _board, _speaker, messages in reachable_states(
-            protocol, inputs
-        ):
-            if messages:
-                check_prefix_free(messages)
+    def test_validate_protocol_certifies(self, case: ProtocolCase):
+        """One mechanical sweep covers prefix-freeness at every reachable
+        board, replay consistency of the turn function, and output
+        agreement between incremental and replayed states."""
+        report = validate_protocol(case.build(), case.input_tuples())
+        assert report.ok, report.problems
+        assert report.prefix_free_everywhere
+        assert report.replay_consistent
+        assert report.states_checked > 0
 
-    def test_advance_state_matches_replay(self, protocol, inputs):
-        """Incremental state folding must agree with from-scratch replay:
-        next_speaker and output must be identical under both."""
+    def test_runner_round_trip(self, case: ProtocolCase):
+        """run_protocol executions replay cleanly: the transcript's raw
+        bits re-parse into the same messages, state folding reproduces
+        the output, and the run halts with a board-determined end."""
+        protocol = case.build()
         rng = random.Random(0)
-        for raw in inputs[:40]:
+        for raw in case.input_tuples()[:40]:
             run = run_protocol(protocol, raw, rng=rng)
+            assert run.bits_communicated == run.transcript.bits_written
+            assert run.rounds == len(run.transcript)
             board = Transcript()
             state = protocol.initial_state()
             for message in run.transcript:
-                replayed = protocol.replay_state(board)
-                assert protocol.next_speaker(state, board) == (
-                    protocol.next_speaker(replayed, board)
-                )
+                assert protocol.next_speaker(state, board) == message.speaker
                 state = protocol.advance_state(state, message)
                 board = board.extend(message)
-            replayed = protocol.replay_state(board)
             assert protocol.next_speaker(state, board) is None
-            assert protocol.next_speaker(replayed, board) is None
-            assert protocol.output(state, board) == protocol.output(
-                replayed, board
-            )
+            assert protocol.output(state, board) == run.output
+            replayed = protocol.replay_state(run.transcript)
+            assert protocol.output(replayed, board) == run.output
 
-    def test_turn_function_input_oblivious(self, protocol, inputs):
-        """All inputs that reach a board agree on who speaks next — true
-        by construction (the signature admits no input), asserted here as
-        an executable statement of the model rule."""
-        for _state, board, speaker, _messages in reachable_states(
+    def test_turn_function_input_oblivious(self, case: ProtocolCase):
+        """All inputs that reach a board agree on who speaks next — the
+        replayed state's speaker must match the incremental one at every
+        reachable board (validate_protocol records any disagreement)."""
+        from repro.core.validate import reachable_boards
+
+        protocol = case.build()
+        inputs = case.input_tuples()
+        for state, board, speaker, _messages in reachable_boards(
             protocol, inputs
         ):
-            assert protocol.next_speaker(
-                protocol.replay_state(board), board
-            ) == speaker
+            assert (
+                protocol.next_speaker(protocol.replay_state(board), board)
+                == speaker
+            )
+
+
+class TestRegistryCompleteness:
+    def test_every_shipped_protocol_class_is_registered(self):
+        """A protocol class exported by repro.protocols must appear in
+        ALL_PROTOCOLS (ProtocolMixture is a distribution over protocols,
+        not a Protocol, and has its own suite)."""
+        exported = {
+            obj
+            for name in protocols_package.__all__
+            for obj in [getattr(protocols_package, name)]
+            if inspect.isclass(obj) and issubclass(obj, Protocol)
+        }
+        registered = {type(case.build()) for case in ALL_PROTOCOLS}
+        missing = {cls.__name__ for cls in exported - registered}
+        assert not missing, (
+            f"protocol classes missing from ALL_PROTOCOLS: {sorted(missing)}"
+        )
+
+    def test_names_are_unique(self):
+        names = [case.name for case in ALL_PROTOCOLS]
+        assert len(names) == len(set(names))
+
+    def test_inputs_are_valid_for_the_protocol(self):
+        for case in ALL_PROTOCOLS:
+            protocol = case.build()
+            for raw in case.input_tuples()[:5]:
+                protocol.validate_inputs(raw)
