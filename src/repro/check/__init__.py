@@ -8,7 +8,8 @@ The subsystem has four layers (see ``docs/testing.md`` for the guide):
   protocols (certified by ``core.validate`` before any oracle runs);
 * :mod:`repro.check.oracles` — the differential oracle inventory
   (batched vs legacy enumeration, exact vs Monte Carlo, closed-form CIC,
-  sampler acceptance rates, paper invariants);
+  sampler acceptance rates, paper invariants, networked-loopback
+  bit-identity);
 * :mod:`repro.check.mutations` — independent reference implementations
   with plantable bugs, powering each oracle's mutation self-test;
 * :mod:`repro.check.harness` / :mod:`repro.check.shrink` /
@@ -34,6 +35,7 @@ from .oracles import (
     DisciplineOracle,
     InvariantsOracle,
     MonteCarloOracle,
+    NetworkOracle,
     Oracle,
     OracleResult,
     SamplerOracle,
@@ -62,6 +64,7 @@ __all__ = [
     "ClosedFormOracle",
     "SamplerOracle",
     "InvariantsOracle",
+    "NetworkOracle",
     "CaseReport",
     "SuiteReport",
     "run_case",

@@ -38,6 +38,8 @@ __all__ = [
     "DART_BUGS",
     "ESTIMATOR_BUGS",
     "DISCIPLINE_BUGS",
+    "NET_BUGS",
+    "networked_reference",
     "legacy_joint_transcript_distribution",
     "closed_form_cic",
     "chain_rule_information",
@@ -428,7 +430,110 @@ def paired_samples(
 
 
 # ----------------------------------------------------------------------
-# 7. Model-discipline mutants (wrappers around a generated protocol).
+# 7. Sequential networked-execution reference (for repro.net).
+# ----------------------------------------------------------------------
+NET_BUGS: Tuple[str, ...] = ("drop-last-frame", "coin-desync")
+
+
+def networked_reference(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    seed: Optional[int],
+    *,
+    bug: Optional[str] = None,
+    max_messages: int = 1_000_000,
+):
+    """A networked execution re-derived from first principles.
+
+    Independently of :mod:`repro.net`'s client/server state machines,
+    this simulates k parties the way the networking design doc argues
+    they must behave: every party holds its own protocol-state fold,
+    its own board mirror, and its own ``random.Random(seed)`` replica of
+    the shared coin stream.  Each round, all views must agree on the
+    speaker; the speaker samples from *its* replica, the message crosses
+    a real ``encode_frame``/``decode_frame`` wire round-trip, and every
+    other party advances its replica by the frame's ``coin_draws``.  The
+    faithful copy (``bug=None``) is bit-identical to
+    :func:`repro.core.runner.run_protocol` with ``random.Random(seed)``
+    — that equality is the ``networked-loopback`` oracle's subject.
+
+    Planted bugs:
+
+    * ``"drop-last-frame"`` — the final broadcast frame is lost and
+      never retried, so the assembled transcript is one message short:
+      the delivery bug retry/SYNC exists to prevent.
+    * ``"coin-desync"`` — observers never advance their replicas for
+      other speakers' coin draws, so the first party to sample *after*
+      observing someone else sample draws from the wrong stream
+      position: the bug the ``coin_draws`` frame field exists to
+      prevent.
+    """
+    _check_bug(bug, NET_BUGS)
+    from ..core.runner import ProtocolRun
+    from ..net.framing import Frame, FrameKind, decode_frame, encode_frame
+
+    k = protocol.num_players
+    replicas = [random.Random(seed) for _ in range(k)]
+    states = [protocol.initial_state() for _ in range(k)]
+    board = Transcript()
+    for round_index in range(max_messages):
+        views = {protocol.next_speaker(states[i], board) for i in range(k)}
+        if len(views) != 1:
+            raise ProtocolViolation(
+                f"party views disagree on the speaker: {views}"
+            )
+        (speaker,) = views
+        if speaker is None:
+            output = protocol.output(states[0], board)
+            transcript = board
+            if bug == "drop-last-frame" and len(board) > 0:
+                transcript = Transcript(board.messages[:-1])
+            return ProtocolRun(
+                transcript=transcript,
+                output=output,
+                bits_communicated=transcript.bits_written,
+                rounds=len(transcript),
+            )
+        dist = protocol.message_distribution(
+            states[speaker], speaker, inputs[speaker], board
+        )
+        if len(dist) == 1:
+            (bits,) = dist.support()
+            draws = 0
+        else:
+            if seed is None:
+                raise ProtocolViolation(
+                    "protocol requires private randomness but no seed "
+                    "was given to the networked run"
+                )
+            bits = dist.sample(replicas[speaker])
+            draws = 1
+        wire = encode_frame(
+            Frame(
+                kind=FrameKind.BROADCAST,
+                party=speaker,
+                round_index=round_index,
+                coin_draws=draws,
+                payload=bits,
+            )
+        )
+        frame, consumed = decode_frame(wire)
+        if consumed != len(wire):
+            raise ProtocolViolation("frame round-trip left trailing bytes")
+        message = Message(speaker=frame.party, bits=frame.payload)
+        for i in range(k):
+            if i != speaker and bug != "coin-desync":
+                for _ in range(frame.coin_draws):
+                    replicas[i].random()
+            states[i] = protocol.advance_state(states[i], message)
+        board = board.extend(message)
+    raise ProtocolViolation(
+        f"protocol did not halt within {max_messages} messages"
+    )
+
+
+# ----------------------------------------------------------------------
+# 8. Model-discipline mutants (wrappers around a generated protocol).
 # ----------------------------------------------------------------------
 DISCIPLINE_BUGS: Tuple[str, ...] = ("broken-prefix", "impure-state")
 

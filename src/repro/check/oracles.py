@@ -24,6 +24,11 @@ GeneratedCase`) and checks one cross-layer agreement property:
                       round-by-round chain rule reproduces IC, and
                       Lemma 3's product decomposition reproduces every
                       transcript probability.
+``networked-loopback`` the ``repro.net`` loopback execution (fault-free
+                      *and* under the chaos fault plan) and an
+                      independent k-replica simulation are all
+                      bit-identical to ``run_protocol`` under the same
+                      coin seed.
 ==================== ==================================================
 
 Every oracle carries a ``bugs`` tuple naming the planted defects of
@@ -35,6 +40,7 @@ the mutated reference/implementation into the comparison.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -60,6 +66,7 @@ __all__ = [
     "ClosedFormOracle",
     "SamplerOracle",
     "InvariantsOracle",
+    "NetworkOracle",
     "ALL_ORACLES",
     "oracle_by_name",
 ]
@@ -370,6 +377,81 @@ class InvariantsOracle(Oracle):
         return None
 
 
+class NetworkOracle(Oracle):
+    """Networked loopback execution vs the in-memory runner — bit-identical.
+
+    Three executions are compared on each input tuple, all under the
+    same coin seed (``case.spec.seed``): the in-memory
+    :func:`~repro.core.runner.run_protocol` (the ground truth), an
+    independent k-replica simulation of the networked semantics
+    (:func:`repro.check.mutations.networked_reference` — the planted-bug
+    carrier), and the *production* :func:`repro.net.run_networked` over
+    the deterministic loopback transport, both fault-free and under the
+    all-classes chaos fault plan.  Any divergence in transcript, output,
+    or ``bits_communicated`` is a failure — the equivalence the
+    networking subsystem advertises is exact, so the comparison is too.
+    """
+
+    name = "networked-loopback"
+    bugs = mutations.NET_BUGS
+    #: Input tuples checked per case (the full families get swept by the
+    #: dedicated ``tests/net`` suite; the fuzz oracle samples).
+    max_inputs = 3
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        from ..core.runner import run_protocol
+        from ..net import chaos_plan, run_networked
+
+        seed = case.spec.seed
+        checked = 0
+        for inputs in case.input_tuples[: self.max_inputs]:
+            truth = run_protocol(
+                case.protocol, inputs, rng=random.Random(seed)
+            )
+            reference = mutations.networked_reference(
+                case.protocol, inputs, seed, bug=bug
+            )
+            mismatch = _run_mismatch(truth, reference)
+            if mismatch is not None:
+                return self._fail(
+                    f"k-replica simulation diverged on {inputs}: {mismatch}"
+                )
+            for label, faults in (
+                ("fault-free", None),
+                ("chaos", chaos_plan(seed)),
+            ):
+                networked = run_networked(
+                    case.protocol, inputs, seed=seed, faults=faults
+                )
+                mismatch = _run_mismatch(truth, networked)
+                if mismatch is not None:
+                    return self._fail(
+                        f"loopback run ({label}) diverged on {inputs}: "
+                        f"{mismatch}"
+                    )
+            checked += 1
+        return self._ok(
+            f"{checked} input tuples bit-identical over loopback "
+            "(fault-free and chaos)"
+        )
+
+
+def _run_mismatch(truth: Any, candidate: Any) -> Optional[str]:
+    """First field on which two ProtocolRuns differ, or None."""
+    if candidate.transcript != truth.transcript:
+        return (
+            f"transcript {candidate.transcript!r} != {truth.transcript!r}"
+        )
+    if candidate.output != truth.output:
+        return f"output {candidate.output!r} != {truth.output!r}"
+    if candidate.bits_communicated != truth.bits_communicated:
+        return (
+            f"bits {candidate.bits_communicated} != "
+            f"{truth.bits_communicated}"
+        )
+    return None
+
+
 #: The full inventory, in the order the harness runs them (cheap and
 #: structural first so a malformed case fails fast).
 ALL_ORACLES: Tuple[Oracle, ...] = (
@@ -378,6 +460,7 @@ ALL_ORACLES: Tuple[Oracle, ...] = (
     InvariantsOracle(),
     ClosedFormOracle(),
     SamplerOracle(),
+    NetworkOracle(),
     MonteCarloOracle(),
 )
 

@@ -8,7 +8,17 @@ behind the communication-scaling experiment (E1), where inputs are far too
 large for exact tree enumeration.
 
 A ``max_messages`` guard turns a non-halting protocol bug into an
-exception instead of a hang.
+exception instead of a hang.  The guard is *atomic*: exhaustion raises
+:class:`~repro.core.model.ProtocolViolation` before any partial result
+becomes observable — no truncated :class:`ProtocolRun` is returned, no
+success counters (``runner_executions`` / ``bits_written`` /
+``runner_messages``) are incremented, and no ``run_complete`` trace
+event is emitted (per-``message`` events for the rounds that did happen
+are emitted, as with any mid-run failure).  The networked runtime's
+:class:`~repro.net.client.PartyClient` relies on this contract for its
+hang guard: it raises the *same* exception with the *same* message at
+the same board length, so a non-halting protocol fails identically
+in-memory and over the wire.
 
 Observability: the runner emits one ``message`` trace event per message
 written (speaker, bit length, round index, cumulative bits) and feeds
@@ -70,7 +80,10 @@ def run_protocol(
         deterministic protocols; a randomized protocol raises
         :class:`ProtocolViolation` if it needs coins and none were given.
     max_messages:
-        Safety ceiling; exceeding it raises :class:`ProtocolViolation`.
+        Safety ceiling; exceeding it raises :class:`ProtocolViolation`
+        *before* any partial run, counter increment, or ``run_complete``
+        event is observable (the atomicity
+        :class:`~repro.net.client.PartyClient` leans on).
     tracer:
         Structured-trace sink; ``None`` uses the process-wide default
         (a no-op unless one was installed via ``repro.obs``).  Tracing

@@ -11,6 +11,9 @@ Usage::
     python -m repro.experiments E2 --trace out.jsonl   # JSONL trace stream
     python -m repro.experiments E7 --metrics           # per-experiment metrics
 
+    # Networked execution (see docs/networking.md):
+    python -m repro.experiments E1 --transport loopback   # via repro.net
+
 Each experiment prints its rendered table (the same table the benchmark
 harness writes to ``benchmarks/results/``).  With ``--trace`` every
 instrumented subsystem (runner, exact analyzer, samplers, Monte-Carlo)
@@ -73,6 +76,15 @@ def main(argv=None) -> int:
              "(experiments that support it; -1 means one per CPU; "
              "tables are byte-identical to the serial run)",
     )
+    parser.add_argument(
+        "--transport",
+        choices=("memory", "loopback", "tcp"),
+        default=None,
+        help="execution backend for experiments that support it: "
+             "'memory' runs protocols in-process, 'loopback'/'tcp' "
+             "route every message through the repro.net broadcast "
+             "runtime (tables are byte-identical across backends)",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiments:
@@ -111,8 +123,14 @@ def main(argv=None) -> int:
                     tracer.event("experiment_start", experiment=eid)
                 runner = ALL_EXPERIMENTS[eid]
                 kwargs = {}
-                if args.workers is not None and _supports_workers(runner):
+                if args.workers is not None and _supports_kwarg(
+                    runner, "workers"
+                ):
                     kwargs["workers"] = args.workers
+                if args.transport is not None and _supports_kwarg(
+                    runner, "transport"
+                ):
+                    kwargs["transport"] = args.transport
                 started = time.monotonic()
                 table = runner(**kwargs)
                 elapsed = time.monotonic() - started
@@ -143,11 +161,13 @@ def _experiment_order(eid: str) -> int:
     return int(eid[1:])
 
 
-def _supports_workers(runner) -> bool:
-    """Whether an experiment's ``run`` accepts the ``workers`` kwarg
-    (grid-style sweeps routed through :func:`repro.perf.map_grid`)."""
+def _supports_kwarg(runner, name: str) -> bool:
+    """Whether an experiment's ``run`` accepts the given kwarg (e.g.
+    ``workers`` for grid-style sweeps routed through
+    :func:`repro.perf.map_grid`, ``transport`` for experiments that can
+    execute over the networked runtime)."""
     try:
-        return "workers" in inspect.signature(runner).parameters
+        return name in inspect.signature(runner).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
 

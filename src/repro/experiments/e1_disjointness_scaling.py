@@ -22,8 +22,9 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
-from ..core.runner import run_protocol
+from ..core.runner import ProtocolRun, run_protocol
 from ..core.tasks import disjointness_task
+from ..net import TRANSPORTS, run_networked
 from ..perf import map_grid
 from ..protocols.naive_disjointness import NaiveDisjointnessProtocol
 from ..protocols.optimal_disjointness import OptimalDisjointnessProtocol
@@ -31,7 +32,13 @@ from ..protocols.trivial import TrivialDisjointnessProtocol
 from .tables import ExperimentTable
 from .workloads import partition_instance, random_instance
 
-__all__ = ["run", "DEFAULT_GRID", "measure_point"]
+__all__ = ["run", "DEFAULT_GRID", "measure_point", "E1_TRANSPORTS"]
+
+#: Execution backends for the worst-case measurements: the in-memory
+#: runner plus every ``repro.net`` transport.  Because the networked
+#: runtime is bit-identical to ``run_protocol``, the rendered E1 table
+#: is byte-identical across all of them (pinned by tests/net/).
+E1_TRANSPORTS: Tuple[str, ...] = ("memory",) + TRANSPORTS
 
 #: (n, k) grid covering both regimes (n >= k^2 batch phase and the
 #: endgame-only regime), sized so the full sweep runs in seconds.
@@ -49,9 +56,28 @@ DEFAULT_GRID: Sequence[Tuple[int, int]] = (
 )
 
 
-def measure_point(n: int, k: int) -> Tuple[int, int, int]:
+def _execute(protocol, inputs, transport: str) -> ProtocolRun:
+    if transport == "memory":
+        return run_protocol(protocol, inputs)
+    return run_networked(protocol, inputs, transport=transport)
+
+
+def measure_point(
+    n: int, k: int, *, transport: str = "memory"
+) -> Tuple[int, int, int]:
     """Communication of (optimal, naive, trivial) on the partition
-    worst case at one grid point."""
+    worst case at one grid point.
+
+    ``transport`` selects the execution backend: ``"memory"`` runs
+    in-process via :func:`run_protocol`; ``"loopback"`` / ``"tcp"``
+    route every message through the :mod:`repro.net` broadcast runtime.
+    The measured bits are identical either way.
+    """
+    if transport not in E1_TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of "
+            f"{E1_TRANSPORTS}"
+        )
     inputs = partition_instance(n, k)
     task = disjointness_task(n, k)
     expected = task.evaluate(inputs)
@@ -61,7 +87,7 @@ def measure_point(n: int, k: int) -> Tuple[int, int, int]:
         NaiveDisjointnessProtocol(n, k),
         TrivialDisjointnessProtocol(n, k),
     ):
-        outcome = run_protocol(protocol, inputs)
+        outcome = _execute(protocol, inputs, transport)
         if outcome.output != expected:
             raise AssertionError(
                 f"{type(protocol).__name__} wrong at n={n}, k={k}"
@@ -71,7 +97,11 @@ def measure_point(n: int, k: int) -> Tuple[int, int, int]:
 
 
 def _measure_grid_point(
-    point: Tuple[int, int], seed: int, *, check_random_instances: bool
+    point: Tuple[int, int],
+    seed: int,
+    *,
+    check_random_instances: bool,
+    transport: str = "memory",
 ) -> Tuple[int, int, int]:
     """One E1 grid task: worst-case bits at ``(n, k)`` plus an optional
     random-instance correctness check.
@@ -82,7 +112,7 @@ def _measure_grid_point(
     result.
     """
     n, k = point
-    bits = measure_point(n, k)
+    bits = measure_point(n, k, transport=transport)
     if check_random_instances:
         rng = random.Random(seed)
         task = disjointness_task(n, k)
@@ -104,13 +134,25 @@ def run(
     check_random_instances: bool = True,
     seed: int = 0,
     workers: Optional[int] = None,
+    transport: str = "memory",
 ) -> ExperimentTable:
     """Run the E1 sweep and return the result table.
 
     ``workers > 1`` evaluates grid points in parallel processes via
     :func:`repro.perf.map_grid`; the rendered table is byte-identical to
     the serial run.
+
+    ``transport`` routes the worst-case measurements through the chosen
+    backend (``"memory"``, ``"loopback"``, or ``"tcp"``); because the
+    networked runtime is bit-identical to the in-memory runner, the
+    rendered table does not depend on the choice.  Random-instance
+    correctness checks always use the in-memory runner.
     """
+    if transport not in E1_TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of "
+            f"{E1_TRANSPORTS}"
+        )
     table = ExperimentTable(
         experiment_id="E1",
         title="Set disjointness communication scaling (worst-case input)",
@@ -129,6 +171,7 @@ def run(
         functools.partial(
             _measure_grid_point,
             check_random_instances=check_random_instances,
+            transport=transport,
         ),
         list(grid),
         workers=workers,

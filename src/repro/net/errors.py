@@ -1,0 +1,66 @@
+"""Typed failure modes of the networked broadcast runtime.
+
+Every way a networked run can fail is a distinct exception class rooted
+at :class:`NetError`, so callers (and the acceptance tests) can assert
+*which* contract broke: a frame that cannot be parsed, a write that
+violates the board's speaking order, a retry budget that ran out, a
+party that crashed and never came back, or a wall-clock/step budget that
+expired.  The runtime's hard promise is that unrecoverable faults raise
+one of these — they never hang (`docs/networking.md`).
+
+Protocol-*model* violations (a non-halting protocol, an empty message,
+a missing rng) raise :class:`repro.core.model.ProtocolViolation` instead,
+exactly as the in-memory runner does, so differential comparisons see
+identical error behavior on both paths.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetError",
+    "FrameError",
+    "FrameTruncated",
+    "FrameCorrupted",
+    "OrderViolationError",
+    "RetriesExhaustedError",
+    "CrashedPartyError",
+    "NetTimeoutError",
+]
+
+
+class NetError(RuntimeError):
+    """Base class for every networked-runtime failure."""
+
+
+class FrameError(NetError, ValueError):
+    """A frame could not be decoded from wire bytes."""
+
+
+class FrameTruncated(FrameError):
+    """The buffer ends before the frame does — more bytes are needed.
+
+    Stream decoders treat this as "wait for more data"; datagram-style
+    decoders (the loopback transport) treat it as corruption.
+    """
+
+
+class FrameCorrupted(FrameError):
+    """The bytes are structurally invalid or fail the checksum."""
+
+
+class OrderViolationError(NetError):
+    """The blackboard service rejected a write: wrong speaker, wrong
+    round index, an empty message, or a conflicting retry."""
+
+
+class RetriesExhaustedError(NetError):
+    """A party's retry/timeout/backoff policy ran out of attempts."""
+
+
+class CrashedPartyError(NetError):
+    """A party crashed without a scheduled restart, so the run can
+    never produce a full set of outputs."""
+
+
+class NetTimeoutError(NetError):
+    """The run exceeded its step or wall-clock budget before halting."""

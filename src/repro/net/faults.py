@@ -1,0 +1,207 @@
+"""Deterministic, seeded fault injection for the loopback transport.
+
+The fault model covers the recoverable classes a real comms stack must
+absorb — and the unrecoverable ones it must fail loudly on:
+
+=================  ====================================================
+``delay``          a frame is held for extra scheduler steps; small
+                   delays jitter latency, large ones *reorder* frames
+                   (clients buffer out-of-order broadcasts, so delivery
+                   constraints are never violated — rounds still apply
+                   in order).
+``corrupt``        one wire bit is flipped; CRC-32 detection turns this
+                   into a detected loss, repaired by SYNC/retry.
+``drop``           the frame never arrives; the sender's watchdog
+                   re-sends (APPENDs are idempotent at the server).
+``crash``          a party loses all volatile state at a scheduled
+                   round; with ``restart=True`` a fresh client rejoins,
+                   replays the board from the server (blackboard
+                   catch-up), and rebuilds its coin-stream replica —
+                   without restart the run must end in
+                   :class:`~repro.net.errors.CrashedPartyError`.
+=================  ====================================================
+
+Everything is derived from ``FaultPlan.seed`` through SHA-256 (the same
+call-order-independent discipline as ``repro.check.generator``), so a
+faulty run is exactly reproducible.  The injector draws a fixed number
+of variates per frame regardless of outcome, keeping the fault pattern
+stable under small plan edits.  A ``max_faults`` budget (default 64)
+guarantees the recoverable plans really are recoverable: past the
+budget the injector goes quiet, and because the default
+``RetryPolicy.max_retries`` exceeds the budget, retries are guaranteed
+to outlast the adversary instead of merely probably outlasting it.
+
+The central theory-honesty claim (enforced by ``tests/net/`` and the
+``networked-loopback`` oracle): none of the recoverable classes change
+the transcript, output, or counted communication bits — a faulty run is
+bit-identical to the fault-free run and to ``run_protocol``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = [
+    "PartyCrash",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultInjector",
+    "NO_FAULT",
+    "recoverable_fault_plans",
+    "chaos_plan",
+]
+
+
+def _derive_rng(*parts: object) -> random.Random:
+    """SHA-256-seeded rng (kept local so ``repro.net`` does not depend
+    on the testing subsystem ``repro.check``)."""
+    digest = hashlib.sha256(
+        "|".join(repr(p) for p in parts).encode()
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class PartyCrash:
+    """Crash ``party`` once it has applied round ``after_round``.
+
+    With ``restart`` the loopback scheduler brings up a fresh
+    :class:`~repro.net.client.PartyClient` (same input, same seed, empty
+    volatile state) a few steps later; it replays the board from the
+    server.  Without ``restart`` the party stays dead and the run fails
+    with a typed error.
+    """
+
+    party: int
+    after_round: int = 0
+    restart: bool = True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault schedule for one networked run."""
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Upper bound on injected extra delay, in scheduler steps.  Values
+    #: above the base latency (1 step) reorder deliveries.
+    max_delay: float = 4.0
+    crashes: Tuple[PartyCrash, ...] = ()
+    #: Total probabilistic faults (drops + corruptions + delays) this
+    #: plan may inject; ``None`` removes the budget (useful for forcing
+    #: unrecoverable behavior in tests).
+    max_faults: Optional[int] = 64
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector does to one outbound frame."""
+
+    drop: bool = False
+    corrupt_bit: Optional[int] = None
+    delay: float = 0.0
+
+    @property
+    def faulty(self) -> bool:
+        return self.drop or self.corrupt_bit is not None or self.delay > 0
+
+
+NO_FAULT = FaultDecision()
+
+
+class FaultInjector:
+    """Draws per-frame fault decisions from a seeded stream."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self._plan = plan
+        self._rng = _derive_rng("repro.net.faults", plan.seed)
+        self._injected = 0
+        self._fired_crashes: Set[int] = set()
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def injected(self) -> int:
+        """Probabilistic faults injected so far (crashes not included)."""
+        return self._injected
+
+    def on_send(self, wire_length_bits: int) -> FaultDecision:
+        """Decide the fate of one outbound frame of the given size."""
+        plan = self._plan
+        # Draw every variate unconditionally so the decision stream is
+        # stable regardless of which faults fire.
+        u_drop = self._rng.random()
+        u_corrupt = self._rng.random()
+        u_delay = self._rng.random()
+        bit = self._rng.randrange(max(wire_length_bits, 1))
+        extra = 1.0 + self._rng.random() * max(plan.max_delay - 1.0, 0.0)
+        if plan.max_faults is not None and self._injected >= plan.max_faults:
+            return NO_FAULT
+        if u_drop < plan.drop_rate:
+            self._injected += 1
+            return FaultDecision(drop=True)
+        if u_corrupt < plan.corrupt_rate:
+            self._injected += 1
+            return FaultDecision(corrupt_bit=bit)
+        if u_delay < plan.delay_rate:
+            self._injected += 1
+            return FaultDecision(delay=extra)
+        return NO_FAULT
+
+    def crash_for(self, party: int, board_length: int) -> Optional[PartyCrash]:
+        """The not-yet-fired crash triggered by ``party`` having applied
+        ``board_length`` rounds, if any (marks it fired)."""
+        for index, crash in enumerate(self._plan.crashes):
+            if index in self._fired_crashes:
+                continue
+            if crash.party == party and board_length > crash.after_round:
+                self._fired_crashes.add(index)
+                return crash
+        return None
+
+
+def recoverable_fault_plans(seed: int = 0) -> Dict[str, FaultPlan]:
+    """One canonical plan per recoverable fault class.
+
+    These are the plans the acceptance tests sweep: every registry
+    protocol and every generated check protocol must be bit-identical to
+    ``run_protocol`` under each of them.
+    """
+    return {
+        "delay": FaultPlan(seed=seed, delay_rate=0.5, max_delay=2.0),
+        "reorder": FaultPlan(seed=seed, delay_rate=0.6, max_delay=9.0),
+        "corrupt": FaultPlan(seed=seed, corrupt_rate=0.3),
+        "drop": FaultPlan(seed=seed, drop_rate=0.3),
+        "crash-restart": FaultPlan(
+            seed=seed, crashes=(PartyCrash(party=0, after_round=0),)
+        ),
+    }
+
+
+def chaos_plan(seed: int = 0) -> FaultPlan:
+    """Every recoverable class at once — the stress plan the
+    ``networked-loopback`` oracle applies to generated protocols."""
+    return FaultPlan(
+        seed=seed,
+        drop_rate=0.15,
+        corrupt_rate=0.15,
+        delay_rate=0.3,
+        max_delay=6.0,
+        crashes=(PartyCrash(party=0, after_round=0),),
+        max_faults=48,
+    )

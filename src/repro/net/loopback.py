@@ -1,0 +1,337 @@
+"""Deterministic in-process transport: a discrete-event network.
+
+The loopback transport runs the *exact* production endpoints — the
+sans-io :class:`~repro.net.server.BlackboardServer` and
+:class:`~repro.net.client.PartyClient` — under a seeded discrete-event
+scheduler instead of sockets.  Every frame still crosses a real wire
+boundary: it is encoded to bytes with
+:func:`~repro.net.framing.encode_frame`, optionally mangled by the
+fault injector *on the wire bytes*, and decoded on delivery.  What the
+loopback removes is wall-clock nondeterminism, which is what makes the
+bit-identity acceptance tests (networked transcript == ``run_protocol``
+transcript, with and without faults) exact rather than statistical.
+
+Scheduling model
+----------------
+A priority queue of ``(time, seq, kind, payload)`` events; base delivery
+latency is one time unit, fault-injected delays add more (delays larger
+than the base latency *reorder* frames in flight).  Each live party has
+a watchdog timer armed for ``PartyClient.timeout_hint()`` time units;
+timers carry a generation number so a timer armed before progress
+happened is stale and ignored.  A mangled frame fails its CRC on
+delivery and is dropped — on this datagram-style transport corruption
+and loss are the same fault, repaired by the sender's retry policy.
+
+Crash-restart: when the fault plan schedules a crash, the party's
+client object is *discarded* (all volatile state: board mirror, rng
+replica, sampled cache) and, if the crash allows restart, a fresh
+client connects a few time units later and performs blackboard catch-up
+from the server's replay log.  A crash without restart raises
+:class:`~repro.net.errors.CrashedPartyError` immediately — unrecoverable
+faults fail typed, never hang.  The step budget (``max_steps``) bounds
+every run as a last resort via :class:`~repro.net.errors.NetTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import Protocol
+from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer, get_tracer
+from .client import PartyClient, RetryPolicy
+from .errors import CrashedPartyError, FrameError, NetError, NetTimeoutError
+from .faults import FaultInjector, FaultPlan
+from .framing import Frame, decode_frame, encode_frame
+from .server import BlackboardServer
+
+__all__ = ["LoopbackRunner", "DEFAULT_MAX_STEPS"]
+
+#: Events processed before the scheduler declares the run wedged.
+DEFAULT_MAX_STEPS = 200_000
+
+#: Delivery latency of an unfaulted frame, in scheduler time units.
+_BASE_LATENCY = 1.0
+
+#: How long after a crash the replacement client connects.
+_RESTART_DELAY = 5.0
+
+#: Queue destination standing for the blackboard server.
+_SERVER = -1
+
+
+class LoopbackRunner:
+    """One networked execution over the in-process loopback transport."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        inputs: Sequence[Any],
+        *,
+        seed: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_messages: int = DEFAULT_MAX_MESSAGES,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        protocol.validate_inputs(inputs)
+        self._protocol = protocol
+        self._inputs = list(inputs)
+        self._seed = seed
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._max_messages = max_messages
+        self._max_steps = max_steps
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._injector = FaultInjector(faults) if faults is not None else None
+        self._server = BlackboardServer(protocol)
+        self._clients: List[Optional[PartyClient]] = [
+            None for _ in range(protocol.num_players)
+        ]
+        #: Current watchdog generation per party; a fired timer whose
+        #: generation is older than this is stale and ignored.
+        self._timer_generation: Dict[int, int] = {}
+        self._queue: List[Tuple[float, int, str, tuple]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._reg = None  # resolved at run() time
+
+    # ------------------------------------------------------------------
+    @property
+    def faults_injected(self) -> int:
+        return self._injector.injected if self._injector is not None else 0
+
+    def run(self) -> ProtocolRun:
+        """Execute to completion; returns the same :class:`ProtocolRun`
+        the in-memory runner would."""
+        self._reg = REGISTRY if REGISTRY.enabled else None
+        tracer = self._tracer
+        if tracer:
+            with tracer.span(
+                "net_run",
+                transport="loopback",
+                protocol=type(self._protocol).__name__,
+                players=self._protocol.num_players,
+            ):
+                return self._run()
+        return self._run()
+
+    # ------------------------------------------------------------------
+    # The event loop.
+    # ------------------------------------------------------------------
+    def _run(self) -> ProtocolRun:
+        for party in range(self._protocol.num_players):
+            self._spawn(party)
+        steps = 0
+        while self._queue:
+            steps += 1
+            if steps > self._max_steps:
+                raise NetTimeoutError(
+                    f"loopback run exceeded {self._max_steps} scheduler "
+                    f"steps without completing"
+                )
+            at, _, kind, payload = heapq.heappop(self._queue)
+            self._now = at
+            if kind == "deliver":
+                self._on_deliver(*payload)
+            elif kind == "timer":
+                self._on_timer(*payload)
+            else:  # "restart"
+                self._on_restart(*payload)
+            if self._complete():
+                return self._result(steps)
+        raise NetTimeoutError(
+            "loopback event queue drained before the run completed"
+        )
+
+    def _schedule(self, at: float, kind: str, payload: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, kind, payload))
+
+    def _complete(self) -> bool:
+        if not self._server.halted:
+            return False
+        return all(c is not None and c.done for c in self._clients)
+
+    # ------------------------------------------------------------------
+    # Party lifecycle.
+    # ------------------------------------------------------------------
+    def _spawn(self, party: int) -> None:
+        client = PartyClient(
+            self._protocol,
+            party,
+            self._inputs[party],
+            seed=self._seed,
+            retry=self._retry,
+            max_messages=self._max_messages,
+        )
+        self._clients[party] = client
+        if self._tracer:
+            self._tracer.event("connect", party=party, transport="loopback")
+        self._send_all(_SERVER, client.connect())
+        self._arm(party)
+
+    def _arm(self, party: int) -> None:
+        client = self._clients[party]
+        generation = self._timer_generation.get(party, 0) + 1
+        self._timer_generation[party] = generation
+        if client is None or client.done:
+            return  # generation bump above cancels any pending timer
+        self._schedule(
+            self._now + client.timeout_hint(), "timer", (party, generation)
+        )
+
+    def _maybe_crash(self, party: int) -> None:
+        if self._injector is None:
+            return
+        client = self._clients[party]
+        if client is None:
+            return
+        crash = self._injector.crash_for(party, len(client.board))
+        if crash is None:
+            return
+        self._clients[party] = None
+        self._timer_generation[party] = (
+            self._timer_generation.get(party, 0) + 1
+        )
+        if self._reg is not None:
+            self._reg.counter("net_faults_injected").inc(
+                fault="crash", transport="loopback"
+            )
+        if self._tracer:
+            self._tracer.event(
+                "fault", fault="crash", party=party, restart=crash.restart
+            )
+        if crash.restart:
+            self._schedule(self._now + _RESTART_DELAY, "restart", (party,))
+        else:
+            raise CrashedPartyError(
+                f"party {party} crashed with no scheduled restart"
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers.
+    # ------------------------------------------------------------------
+    def _on_deliver(self, dest: int, wire: bytes) -> None:
+        try:
+            frame, consumed = decode_frame(wire)
+            if consumed != len(wire):
+                raise FrameError("trailing bytes after frame")
+        except FrameError:
+            # Datagram semantics: a mangled frame is a lost frame; the
+            # sender's watchdog re-sends or re-syncs.
+            if self._tracer:
+                self._tracer.event("frame_rejected", dest=dest)
+            return
+        if dest == _SERVER:
+            for receiver, out in self._server.handle(frame):
+                self._transmit(receiver, out)
+            return
+        client = self._clients[dest]
+        if client is None:
+            return  # addressed to a crashed party: lost on the floor
+        self._send_all(_SERVER, client.on_frame(frame))
+        self._maybe_crash(dest)
+        self._arm(dest)
+
+    def _on_timer(self, party: int, generation: int) -> None:
+        if self._timer_generation.get(party) != generation:
+            return  # progress happened since this watchdog was armed
+        client = self._clients[party]
+        if client is None or client.done:
+            return
+        frames = client.on_timeout()  # may raise RetriesExhaustedError
+        if self._tracer:
+            self._tracer.event(
+                "retry", party=party, attempt=client.retries
+            )
+        self._send_all(_SERVER, frames)
+        self._arm(party)
+
+    def _on_restart(self, party: int) -> None:
+        if self._tracer:
+            self._tracer.event("restart", party=party)
+        self._spawn(party)
+
+    # ------------------------------------------------------------------
+    # The wire.
+    # ------------------------------------------------------------------
+    def _send_all(self, dest: int, frames: List[Frame]) -> None:
+        for frame in frames:
+            self._transmit(dest, frame)
+
+    def _transmit(self, dest: int, frame: Frame) -> None:
+        wire = bytearray(encode_frame(frame))
+        reg = self._reg
+        if reg is not None:
+            reg.counter("net_frames_sent").inc(
+                kind=frame.kind.name, transport="loopback"
+            )
+            reg.counter("net_bytes_on_wire").inc(
+                len(wire), transport="loopback"
+            )
+        delay = _BASE_LATENCY
+        if self._injector is not None:
+            decision = self._injector.on_send(len(wire) * 8)
+            if decision.faulty:
+                if decision.drop:
+                    fault = "drop"
+                elif decision.corrupt_bit is not None:
+                    fault = "corrupt"
+                else:
+                    fault = "delay"
+                if reg is not None:
+                    reg.counter("net_faults_injected").inc(
+                        fault=fault, transport="loopback"
+                    )
+                if self._tracer:
+                    self._tracer.event(
+                        "fault",
+                        fault=fault,
+                        kind=frame.kind.name,
+                        dest=dest,
+                    )
+                if decision.drop:
+                    return
+                if decision.corrupt_bit is not None:
+                    index = decision.corrupt_bit
+                    wire[index // 8] ^= 0x80 >> (index % 8)
+                delay += decision.delay
+        self._schedule(self._now + delay, "deliver", (dest, bytes(wire)))
+
+    # ------------------------------------------------------------------
+    # Completion.
+    # ------------------------------------------------------------------
+    def _result(self, steps: int) -> ProtocolRun:
+        board = self._server.board
+        output = None
+        for party, client in enumerate(self._clients):
+            assert client is not None  # _complete() checked
+            if client.board != board:
+                raise NetError(
+                    f"party {party} finished with a board that disagrees "
+                    f"with the server's — determinism bug"
+                )
+            if party == 0:
+                output = client.output
+            elif client.output != output:
+                raise NetError(
+                    f"party {party} computed a different output — "
+                    f"determinism bug"
+                )
+        if self._tracer:
+            self._tracer.event(
+                "net_run_complete",
+                bits=board.bits_written,
+                rounds=len(board),
+                steps=steps,
+                faults=self.faults_injected,
+            )
+        return ProtocolRun(
+            transcript=board,
+            output=output,
+            bits_communicated=board.bits_written,
+            rounds=len(board),
+        )

@@ -1,0 +1,146 @@
+"""`run_networked`: the drop-in networked twin of ``run_protocol``.
+
+Same protocol object, same inputs, same seed discipline, same
+:class:`~repro.core.runner.ProtocolRun` out — but executed by k
+independent party endpoints talking to a blackboard service over a
+transport, instead of one in-process loop.  The central guarantee
+(enforced by ``tests/net/`` and the ``networked-loopback`` check
+oracle): for any protocol and seed, ``run_networked(...)`` is
+**bit-identical** to ``run_protocol(protocol, inputs,
+rng=random.Random(seed))`` — transcript, output, and
+``bits_communicated`` — with or without recoverable injected faults.
+
+Transports
+----------
+``loopback``
+    Deterministic in-process discrete-event network
+    (:mod:`repro.net.loopback`).  Supports seeded fault injection via
+    ``faults``; this is the transport the acceptance tests and the
+    ``--transport loopback`` experiment path use.
+``tcp``
+    Real asyncio sockets on ``127.0.0.1`` (:mod:`repro.net.tcp`).
+    Rejects ``faults`` (TCP delivers reliably; the fault model lives in
+    the loopback scheduler) and must be called from sync code.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence
+
+from ..core.model import Protocol
+from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
+from ..obs.trace import Tracer
+from .client import RetryPolicy
+from .faults import FaultPlan
+from .loopback import DEFAULT_MAX_STEPS, LoopbackRunner
+from .tcp import run_tcp
+
+__all__ = ["run_networked", "TRANSPORTS"]
+
+#: Transport names accepted by :func:`run_networked`.
+TRANSPORTS = ("loopback", "tcp")
+
+
+def run_networked(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    *,
+    seed: Optional[int] = None,
+    transport: str = "loopback",
+    faults: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_messages: int = DEFAULT_MAX_MESSAGES,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    timeout: float = 60.0,
+    tracer: Optional[Tracer] = None,
+) -> ProtocolRun:
+    """Execute ``protocol`` over a real transport.
+
+    Parameters
+    ----------
+    protocol:
+        The (unmodified) protocol to run; the same object class
+        :func:`~repro.core.runner.run_protocol` executes.
+    inputs:
+        One private input per player; each party endpoint sees only its
+        own.
+    seed:
+        Seed of the shared private-coin stream.  ``run_networked(...,
+        seed=s)`` matches ``run_protocol(..., rng=random.Random(s))``
+        bit for bit.  May be ``None`` for deterministic protocols.
+    transport:
+        ``"loopback"`` (deterministic, in-process, faultable) or
+        ``"tcp"`` (real sockets on 127.0.0.1).
+    faults:
+        Optional seeded :class:`~repro.net.faults.FaultPlan`
+        (loopback only).
+    retry:
+        Per-party :class:`~repro.net.client.RetryPolicy`; defaults are
+        transport-appropriate (scheduler steps vs seconds).
+    max_messages:
+        Same hang guard as ``run_protocol`` — exceeded, every party
+        raises the identical :class:`~repro.core.model.ProtocolViolation`.
+    max_steps:
+        Loopback scheduler budget
+        (:class:`~repro.net.errors.NetTimeoutError` on exhaustion).
+    timeout:
+        TCP wall-clock budget in seconds.
+    tracer:
+        Structured-trace sink (``net_run`` span, per-connection spans on
+        TCP, fault/retry/connect events).
+
+    Returns
+    -------
+    ProtocolRun
+        Identical to the in-memory runner's result for the same seed.
+    """
+    if transport == "loopback":
+        return LoopbackRunner(
+            protocol,
+            inputs,
+            seed=seed,
+            faults=faults,
+            retry=retry,
+            max_messages=max_messages,
+            max_steps=max_steps,
+            tracer=tracer,
+        ).run()
+    if transport == "tcp":
+        if faults is not None:
+            raise ValueError(
+                "fault injection is loopback-only: TCP delivers reliably, "
+                "so a FaultPlan cannot be honored on transport='tcp'"
+            )
+        return run_tcp(
+            protocol,
+            inputs,
+            seed=seed,
+            retry=retry,
+            max_messages=max_messages,
+            timeout=timeout,
+            tracer=tracer,
+        )
+    raise ValueError(
+        f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+    )
+
+
+def reference_run(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    *,
+    seed: Optional[int] = None,
+    max_messages: int = DEFAULT_MAX_MESSAGES,
+) -> ProtocolRun:
+    """The in-memory run a networked execution must reproduce.
+
+    Convenience wrapper fixing the rng construction the equivalence
+    contract is stated against: ``random.Random(seed)``.
+    """
+    from ..core.runner import run_protocol
+
+    rng = random.Random(seed) if seed is not None else None
+    return run_protocol(
+        protocol, inputs, rng=rng, max_messages=max_messages
+    )

@@ -1,0 +1,271 @@
+"""Real-socket transport: the blackboard over asyncio TCP.
+
+This driver runs the same sans-io cores as the loopback transport —
+:class:`~repro.net.server.BlackboardServer` behind an
+``asyncio.start_server`` accept loop, one :class:`~repro.net.client.
+PartyClient` per party behind ``asyncio.open_connection`` — on
+``127.0.0.1`` with an OS-assigned port.  Byte streams are reassembled
+into frames by :class:`~repro.net.framing.FrameDecoder`; server-side
+frame handling is serialized by a single :class:`asyncio.Lock`, which is
+the socket-world analogue of the loopback scheduler processing one
+event at a time.
+
+Because TCP already provides reliable ordered delivery, fault injection
+is a loopback-only feature (:func:`repro.net.runner.run_networked`
+rejects ``faults`` with ``transport="tcp"``); what this transport
+exercises is the real-io path: partial reads, frame reassembly across
+chunk boundaries, concurrent writers, and wall-clock timeouts.  Each
+party connection runs under a ``net_connection`` tracer span, and every
+read is bounded by ``PartyClient.timeout_hint()`` — a wedged run ends in
+:class:`~repro.net.errors.NetTimeoutError`, never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.model import Protocol
+from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer, get_tracer
+from .client import PartyClient, RetryPolicy
+from .errors import FrameCorrupted, NetError, NetTimeoutError
+from .framing import Frame, FrameDecoder, FrameKind, encode_frame
+from .server import BlackboardServer
+
+__all__ = ["run_tcp", "TCP_RETRY_POLICY"]
+
+#: Watchdog knobs scaled for real sockets (seconds, not scheduler
+#: steps).  TCP never loses frames, so timeouts fire only when a peer is
+#: genuinely wedged — short waits, few retries.
+TCP_RETRY_POLICY = RetryPolicy(
+    timeout=2.0, backoff=1.5, max_retries=8, max_timeout=15.0
+)
+
+_READ_CHUNK = 65536
+
+
+def run_tcp(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    *,
+    seed: Optional[int] = None,
+    retry: Optional[RetryPolicy] = None,
+    max_messages: int = DEFAULT_MAX_MESSAGES,
+    timeout: float = 60.0,
+    tracer: Optional[Tracer] = None,
+) -> ProtocolRun:
+    """Execute ``protocol`` over real TCP sockets on ``127.0.0.1``.
+
+    Blocking entry point; spins up its own event loop.  ``timeout``
+    bounds the whole run in wall-clock seconds
+    (:class:`~repro.net.errors.NetTimeoutError` on expiry).
+    """
+    try:
+        asyncio.get_running_loop()
+    except RuntimeError:
+        pass
+    else:
+        raise RuntimeError(
+            "run_networked(transport='tcp') must not be called from "
+            "inside a running event loop; await repro.net.tcp._run_async "
+            "directly instead"
+        )
+    protocol.validate_inputs(inputs)
+    if retry is None:
+        retry = TCP_RETRY_POLICY
+    if tracer is None:
+        tracer = get_tracer()
+    try:
+        return asyncio.run(
+            asyncio.wait_for(
+                _run_async(
+                    protocol,
+                    inputs,
+                    seed=seed,
+                    retry=retry,
+                    max_messages=max_messages,
+                    tracer=tracer,
+                ),
+                timeout,
+            )
+        )
+    except asyncio.TimeoutError:
+        raise NetTimeoutError(
+            f"tcp run did not complete within {timeout} seconds"
+        ) from None
+
+
+async def _run_async(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    *,
+    seed: Optional[int],
+    retry: RetryPolicy,
+    max_messages: int,
+    tracer: Tracer,
+) -> ProtocolRun:
+    reg = REGISTRY if REGISTRY.enabled else None
+    board_server = BlackboardServer(protocol)
+    lock = asyncio.Lock()
+    writers: Dict[int, asyncio.StreamWriter] = {}
+
+    def _count(frame: Frame, wire: bytes) -> None:
+        if reg is not None:
+            reg.counter("net_frames_sent").inc(
+                kind=frame.kind.name, transport="tcp"
+            )
+            reg.counter("net_bytes_on_wire").inc(len(wire), transport="tcp")
+
+    async def handle_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    return
+                for frame in decoder.feed(data):
+                    async with lock:
+                        if frame.kind in (
+                            FrameKind.HELLO,
+                            FrameKind.SYNC,
+                            FrameKind.APPEND,
+                            FrameKind.BYE,
+                        ):
+                            writers[frame.party] = writer
+                        sends = board_server.handle(frame)
+                        for receiver, out in sends:
+                            out_writer = writers.get(receiver)
+                            if out_writer is None:
+                                continue
+                            wire = encode_frame(out)
+                            _count(out, wire)
+                            out_writer.write(wire)
+        except (FrameCorrupted, ConnectionError):
+            # A corrupt stream or a vanished peer: drop the connection;
+            # the party's watchdog reconnect logic (SYNC) recovers, or
+            # its retry budget turns this into a typed failure.
+            return
+
+    async def party_task(party: int) -> PartyClient:
+        client = PartyClient(
+            protocol,
+            party,
+            inputs[party],
+            seed=seed,
+            retry=retry,
+            max_messages=max_messages,
+        )
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        if tracer:
+            tracer.event("connect", party=party, transport="tcp")
+        decoder = FrameDecoder()
+
+        async def send(frames: List[Frame]) -> None:
+            for frame in frames:
+                wire = encode_frame(frame)
+                _count(frame, wire)
+                writer.write(wire)
+            if frames:
+                await writer.drain()
+
+        try:
+            await send(client.connect())
+            while not client.done:
+                try:
+                    data = await asyncio.wait_for(
+                        reader.read(_READ_CHUNK),
+                        timeout=client.timeout_hint(),
+                    )
+                except asyncio.TimeoutError:
+                    await send(client.on_timeout())
+                    continue
+                if not data:
+                    raise NetError(
+                        f"server closed the connection to party {party} "
+                        f"before it halted"
+                    )
+                for frame in decoder.feed(data):
+                    await send(client.on_frame(frame))
+                    if client.done:
+                        break
+        finally:
+            if tracer:
+                tracer.event("disconnect", party=party, transport="tcp")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        return client
+
+    tcp_server = await asyncio.start_server(
+        handle_connection, "127.0.0.1", 0
+    )
+    port = tcp_server.sockets[0].getsockname()[1]
+    try:
+        if tracer:
+            with tracer.span(
+                "net_run",
+                transport="tcp",
+                protocol=type(protocol).__name__,
+                players=protocol.num_players,
+                port=port,
+            ):
+                clients = await _gather_parties(
+                    protocol.num_players, party_task, tracer
+                )
+        else:
+            clients = await _gather_parties(
+                protocol.num_players, party_task, tracer
+            )
+    finally:
+        tcp_server.close()
+        await tcp_server.wait_closed()
+    return _assemble(board_server, clients)
+
+
+async def _gather_parties(num_players, party_task, tracer):
+    async def traced_party(party: int) -> PartyClient:
+        if tracer:
+            with tracer.span("net_connection", party=party, transport="tcp"):
+                return await party_task(party)
+        return await party_task(party)
+
+    return await asyncio.gather(
+        *(traced_party(party) for party in range(num_players))
+    )
+
+
+def _assemble(
+    board_server: BlackboardServer, clients: Sequence[PartyClient]
+) -> ProtocolRun:
+    if not board_server.halted:
+        raise NetError(
+            "all parties halted but the server-side protocol has not — "
+            "determinism bug"
+        )
+    board = board_server.board
+    output = None
+    for party, client in enumerate(clients):
+        if client.board != board:
+            raise NetError(
+                f"party {party} finished with a board that disagrees "
+                f"with the server's — determinism bug"
+            )
+        if party == 0:
+            output = client.output
+        elif client.output != output:
+            raise NetError(
+                f"party {party} computed a different output — "
+                f"determinism bug"
+            )
+    return ProtocolRun(
+        transcript=board,
+        output=output,
+        bits_communicated=board.bits_written,
+        rounds=len(board),
+    )

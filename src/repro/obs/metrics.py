@@ -44,6 +44,10 @@ Metric naming used by the instrumented subsystems:
 ``check_cases``                       fuzz cases finished, by verdict
 ``check_oracle_runs``                 oracle checks, by oracle and verdict
 ``check_failures``                    failing oracle checks, by oracle
+``net_frames_sent``                   wire frames sent, by kind and transport
+``net_bytes_on_wire``                 encoded frame bytes, by transport
+``net_retries``                       party watchdog retries, by party
+``net_faults_injected``               injected faults, by fault and transport
 ====================================  =======================================
 """
 

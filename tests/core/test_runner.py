@@ -67,6 +67,42 @@ class TestRunProtocol:
         with pytest.raises(ProtocolViolation, match="did not halt"):
             run_protocol(p, (0,), max_messages=100)
 
+    def test_exhaustion_is_atomic(self):
+        """max_messages exhaustion leaves nothing partial behind: no
+        success counters, no ``run_complete`` trace event — only the
+        per-message events of the rounds that did execute.  The
+        networked PartyClient's hang guard is built on this contract
+        (see ``repro.net.client``), so it is pinned here."""
+        from repro.obs import (
+            REGISTRY,
+            RecordingTracer,
+            disable_metrics,
+            enable_metrics,
+        )
+
+        p = FunctionalProtocol(
+            1,
+            next_speaker=lambda board: 0,   # never halts
+            message_distribution=lambda pl, x, board: (
+                DiscreteDistribution.point_mass("0")
+            ),
+            output=lambda board: None,
+        )
+        tracer = RecordingTracer()
+        enable_metrics(reset=True)
+        try:
+            with pytest.raises(
+                ProtocolViolation, match="did not halt within 25 messages"
+            ):
+                run_protocol(p, (0,), max_messages=25, tracer=tracer)
+            assert REGISTRY.counter("runner_executions").total() == 0
+            assert REGISTRY.counter("bits_written").total() == 0
+            assert REGISTRY.counter("runner_messages").total() == 0
+        finally:
+            disable_metrics()
+        assert tracer.named("run_complete") == []
+        assert len(tracer.named("message")) == 25
+
     def test_invalid_speaker_detected(self):
         p = FunctionalProtocol(
             2,

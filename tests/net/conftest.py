@@ -1,0 +1,38 @@
+"""Shared guard for the networking suite: every test gets a deadline.
+
+The ``repro.net`` contract is that unrecoverable failures raise typed
+errors instead of hanging; a regression that breaks that promise would
+otherwise wedge the whole test run.  An autouse SIGALRM watchdog turns
+any hang into a loud ``TimeoutError`` (on platforms without SIGALRM the
+fixture is a no-op — the loopback transport's own ``max_steps`` budget
+still bounds those runs).
+"""
+
+import signal
+
+import pytest
+
+#: Generous per-test wall-clock ceiling, seconds.  Individual tests are
+#: orders of magnitude faster; this only exists to catch hangs.
+TEST_DEADLINE_S = 120
+
+
+@pytest.fixture(autouse=True)
+def net_test_deadline():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - windows
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only on regression
+        raise TimeoutError(
+            f"net test exceeded the {TEST_DEADLINE_S}s deadline — "
+            "repro.net must never hang"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_DEADLINE_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,145 @@
+"""The fault model: recoverable classes recover, unrecoverable ones
+fail typed — and the injector itself is deterministic.
+
+These tests drive the fault machinery harder than the registry sweep:
+saturation drops must end in ``RetriesExhaustedError`` (never a hang),
+a crash without restart must end in ``CrashedPartyError``, injected
+fault streams must replay exactly from their seed, and a faulty-but-
+recoverable run must both *actually inject faults* and still match the
+in-memory runner bit for bit.
+"""
+
+import random
+
+import pytest
+
+from repro.core.runner import run_protocol
+from repro.net import (
+    CrashedPartyError,
+    FaultInjector,
+    FaultPlan,
+    LoopbackRunner,
+    PartyCrash,
+    RetriesExhaustedError,
+    RetryPolicy,
+    chaos_plan,
+    recoverable_fault_plans,
+    run_networked,
+)
+from repro.obs import REGISTRY, disable_metrics, enable_metrics
+from repro.protocols import protocol_case
+
+#: A quick-failing policy so saturation tests stay fast.
+FAST_RETRY = RetryPolicy(timeout=4.0, backoff=1.2, max_retries=4, max_timeout=16.0)
+
+
+class TestPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(max_delay=-1.0)
+
+    def test_injector_stream_is_seed_deterministic(self):
+        def stream(seed):
+            injector = FaultInjector(
+                FaultPlan(seed=seed, drop_rate=0.2, corrupt_rate=0.2, delay_rate=0.2)
+            )
+            return [injector.on_send(128) for _ in range(50)]
+
+        assert stream(42) == stream(42)
+        assert stream(42) != stream(43)
+
+    def test_max_faults_budget_silences_the_injector(self):
+        plan = FaultPlan(seed=1, drop_rate=1.0, max_faults=3)
+        injector = FaultInjector(plan)
+        decisions = [injector.on_send(64) for _ in range(10)]
+        assert sum(d.drop for d in decisions) == 3
+        assert all(not d.faulty for d in decisions[3:])
+
+
+class TestRecoverable:
+    @pytest.mark.parametrize(
+        "fault_name", sorted(recoverable_fault_plans(0))
+    )
+    def test_faults_are_injected_and_absorbed(self, fault_name):
+        case = protocol_case("noisy-sequential-and")
+        inputs = case.input_tuples()[-1]
+        reference = run_protocol(case.build(), inputs, rng=random.Random(8))
+        plan = recoverable_fault_plans(8)[fault_name]
+        runner = LoopbackRunner(case.build(), inputs, seed=8, faults=plan)
+        assert runner.run() == reference
+        if fault_name != "crash-restart":
+            assert runner.faults_injected > 0, "plan injected nothing"
+
+    def test_faulty_runs_are_reproducible(self):
+        case = protocol_case("union")
+        inputs = case.input_tuples()[3]
+        plan = chaos_plan(21)
+        runs = [
+            run_networked(case.build(), inputs, seed=2, faults=plan)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_crash_restart_rebuilds_coin_replica(self):
+        """The restarted party replays the board — including sampled
+        rounds it spoke *before* crashing — so later samples still come
+        from the right stream position."""
+        case = protocol_case("functional-random")
+        for inputs in case.input_tuples()[:4]:
+            reference = run_protocol(
+                case.build(), inputs, rng=random.Random(6)
+            )
+            networked = run_networked(
+                case.build(),
+                inputs,
+                seed=6,
+                faults=FaultPlan(seed=0, crashes=(PartyCrash(0, 0), PartyCrash(1, 1))),
+            )
+            assert networked == reference
+
+
+class TestUnrecoverable:
+    def test_total_drop_exhausts_retries(self):
+        case = protocol_case("sequential-and")
+        with pytest.raises(RetriesExhaustedError, match="exhausted"):
+            run_networked(
+                case.build(),
+                case.input_tuples()[0],
+                seed=0,
+                faults=FaultPlan(seed=0, drop_rate=1.0, max_faults=None),
+                retry=FAST_RETRY,
+            )
+
+    def test_crash_without_restart_is_typed(self):
+        case = protocol_case("sequential-and")
+        with pytest.raises(CrashedPartyError, match="party 0"):
+            run_networked(
+                case.build(),
+                case.input_tuples()[-1],
+                seed=0,
+                faults=FaultPlan(
+                    seed=0, crashes=(PartyCrash(0, 0, restart=False),)
+                ),
+            )
+
+    def test_retries_counter_increments(self):
+        enable_metrics(reset=True)
+        try:
+            case = protocol_case("sequential-and")
+            with pytest.raises(RetriesExhaustedError):
+                run_networked(
+                    case.build(),
+                    case.input_tuples()[0],
+                    seed=0,
+                    faults=FaultPlan(seed=0, drop_rate=1.0, max_faults=None),
+                    retry=FAST_RETRY,
+                )
+            assert REGISTRY.counter("net_retries").total() > 0
+            faults = REGISTRY.counter("net_faults_injected")
+            assert faults.value(fault="drop", transport="loopback") > 0
+        finally:
+            disable_metrics()

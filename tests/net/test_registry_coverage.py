@@ -1,0 +1,64 @@
+"""Registry-driven networked coverage: every shipped protocol, over a
+real transport, bit-identical to the in-memory runner.
+
+Mirrors the completeness convention of
+``tests/protocols/test_model_discipline.py``: the sweep is parametrized
+over ``repro.protocols.ALL_PROTOCOLS`` itself, so a protocol added to
+the registry is automatically executed over the loopback transport —
+fault-free across its input family, and under every recoverable fault
+class on representative inputs — with no test edits.  A protocol that
+cannot survive the networked path cannot ship.
+"""
+
+import random
+
+import pytest
+
+from repro.core.runner import run_protocol
+from repro.net import recoverable_fault_plans, run_networked
+from repro.protocols import ALL_PROTOCOLS, ProtocolCase
+
+CASE_IDS = [case.name for case in ALL_PROTOCOLS]
+SEED = 1234
+FAULT_PLANS = sorted(recoverable_fault_plans(SEED).items())
+FAULT_IDS = [name for name, _ in FAULT_PLANS]
+
+
+def _representative_inputs(case: ProtocolCase, count: int):
+    tuples = case.input_tuples()
+    if len(tuples) <= count:
+        return tuples
+    stride = max(1, len(tuples) // count)
+    picked = tuples[::stride][:count]
+    if tuples[-1] not in picked:
+        picked[-1] = tuples[-1]
+    return picked
+
+
+@pytest.mark.parametrize("case", ALL_PROTOCOLS, ids=CASE_IDS)
+def test_fault_free_bit_identity(case: ProtocolCase):
+    """Across a spread of the input family, the loopback execution is
+    the same ProtocolRun the in-memory runner produces."""
+    for inputs in _representative_inputs(case, 6):
+        reference = run_protocol(
+            case.build(), inputs, rng=random.Random(SEED)
+        )
+        networked = run_networked(case.build(), inputs, seed=SEED)
+        assert networked == reference, (case.name, inputs)
+
+
+@pytest.mark.parametrize("case", ALL_PROTOCOLS, ids=CASE_IDS)
+@pytest.mark.parametrize("fault_name,plan", FAULT_PLANS, ids=FAULT_IDS)
+def test_recoverable_faults_preserve_bit_identity(
+    case: ProtocolCase, fault_name, plan
+):
+    """Delay/reorder, corruption, drops, and crash-restart are absorbed
+    by retries and blackboard catch-up without changing a single bit."""
+    for inputs in _representative_inputs(case, 2):
+        reference = run_protocol(
+            case.build(), inputs, rng=random.Random(SEED)
+        )
+        networked = run_networked(
+            case.build(), inputs, seed=SEED, faults=plan
+        )
+        assert networked == reference, (case.name, fault_name, inputs)
