@@ -21,6 +21,24 @@ from repro.obs import REGISTRY, render_metrics
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 METRICS_DIR = os.path.join(RESULTS_DIR, "metrics")
+STORE_DIR = os.path.join(os.path.dirname(__file__), ".store")
+
+
+def experiment_store():
+    """The benchmark harness's shared result store (``repro.store``).
+
+    Experiments that support it regenerate their ``results/EN.txt``
+    through the store: the first run computes and checkpoints every grid
+    cell, later runs are pure cache hits with byte-identical tables
+    (``docs/store.md``).  Set ``REPRO_BENCH_STORE=0`` to force cold
+    runs, or point it at a different directory.
+    """
+    from repro.store import ResultStore
+
+    configured = os.environ.get("REPRO_BENCH_STORE", STORE_DIR)
+    if configured in ("", "0"):
+        return None
+    return ResultStore(configured)
 
 
 @pytest.fixture(scope="session")

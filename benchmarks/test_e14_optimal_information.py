@@ -5,14 +5,14 @@ import math
 from repro.experiments import e14_optimal_information as e14
 from repro.lowerbounds import minimum_zero_error_cic
 
-from conftest import save_and_echo
+from conftest import experiment_store, save_and_echo
 
 _CACHE = {}
 
 
 def full_table():
     if "table" not in _CACHE:
-        _CACHE["table"] = e14.run()
+        _CACHE["table"] = e14.run(store=experiment_store())
     return _CACHE["table"]
 
 

@@ -4,14 +4,14 @@ import math
 
 from repro.experiments import e1_disjointness_scaling as e1
 
-from conftest import save_and_echo
+from conftest import experiment_store, save_and_echo
 
 _CACHE = {}
 
 
 def full_table():
     if "table" not in _CACHE:
-        _CACHE["table"] = e1.run()
+        _CACHE["table"] = e1.run(store=experiment_store())
     return _CACHE["table"]
 
 

@@ -3,14 +3,14 @@
 from repro.experiments import e4_omega_k as e4
 from repro.lowerbounds import TruncatedAndProtocol, lemma6_report
 
-from conftest import save_and_echo
+from conftest import experiment_store, save_and_echo
 
 _CACHE = {}
 
 
 def full_table():
     if "table" not in _CACHE:
-        _CACHE["table"] = e4.run()
+        _CACHE["table"] = e4.run(store=experiment_store())
     return _CACHE["table"]
 
 

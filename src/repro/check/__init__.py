@@ -39,6 +39,7 @@ from .oracles import (
     Oracle,
     OracleResult,
     SamplerOracle,
+    StoreRoundtripOracle,
     oracle_by_name,
 )
 from .shrink import shrink_case, shrink_candidates
@@ -65,6 +66,7 @@ __all__ = [
     "SamplerOracle",
     "InvariantsOracle",
     "NetworkOracle",
+    "StoreRoundtripOracle",
     "CaseReport",
     "SuiteReport",
     "run_case",

@@ -22,8 +22,11 @@ between subject and reference is unlikely.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import random
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import Message, Protocol, ProtocolViolation, Transcript
@@ -39,6 +42,8 @@ __all__ = [
     "ESTIMATOR_BUGS",
     "DISCIPLINE_BUGS",
     "NET_BUGS",
+    "STORE_BUGS",
+    "store_serve",
     "networked_reference",
     "legacy_joint_transcript_distribution",
     "closed_form_cic",
@@ -533,7 +538,91 @@ def networked_reference(
 
 
 # ----------------------------------------------------------------------
-# 8. Model-discipline mutants (wrappers around a generated protocol).
+# 8. Cached-result serving reference (for repro.store).
+# ----------------------------------------------------------------------
+STORE_BUGS: Tuple[str, ...] = ("stale-version-tag", "payload-truncation")
+
+
+def store_serve(
+    fresh: bytes,
+    stale: bytes,
+    key_dict: Dict[str, Any],
+    *,
+    bug: Optional[str] = None,
+) -> bytes:
+    """Serve one result through an independently re-derived cell store.
+
+    The scenario mirrors the two ways a result cache can silently serve
+    the wrong bytes.  A *stale* payload (a result computed by an older
+    kernel) sits in the store under ``key_dict`` with its old
+    ``version`` tag; the caller then asks for the same cell under the
+    current ``key_dict``.  A faithful store (``bug=None``) addresses
+    entries by a digest of *every* key field — version included — so
+    the stale entry is unreachable: the lookup misses, the ``fresh``
+    payload is computed, persisted through a length- and CRC-sealed
+    envelope, and served back byte-identical.
+
+    The store here is deliberately minimal and shares no code with
+    :mod:`repro.store`: a dict keyed by a ``hashlib.sha256`` of the
+    sorted-JSON key, with a ``b"len:crc\n" + payload`` envelope checked
+    with :func:`zlib.crc32` on every read.
+
+    Planted bugs:
+
+    * ``"stale-version-tag"`` — the address digest omits the
+      ``version`` field, so entries written by an old kernel collide
+      with the current key and the stale payload is served: the bug
+      :class:`repro.store.ResultKey`'s code-version tag exists to
+      prevent.
+    * ``"payload-truncation"`` — the write path drops the final byte of
+      the envelope and the read path skips the length/CRC check, so a
+      torn write is served as a short payload: the bug the store's
+      sealed envelope plus :exc:`repro.store.StoreCorruptedError` exist
+      to prevent.
+    """
+    _check_bug(bug, STORE_BUGS)
+
+    def address(fields: Dict[str, Any]) -> str:
+        if bug == "stale-version-tag":
+            fields = {k: v for k, v in fields.items() if k != "version"}
+        blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def envelope(payload: bytes) -> bytes:
+        sealed = (
+            f"{len(payload)}:{zlib.crc32(payload) & 0xFFFFFFFF}\n".encode(
+                "ascii"
+            )
+            + payload
+        )
+        if bug == "payload-truncation":
+            sealed = sealed[:-1]
+        return sealed
+
+    def open_envelope(blob: bytes) -> bytes:
+        header, _, payload = blob.partition(b"\n")
+        if bug == "payload-truncation":
+            return payload  # unchecked: serves whatever survived
+        length, _, crc = header.partition(b":")
+        if int(length) != len(payload) or int(crc) != (
+            zlib.crc32(payload) & 0xFFFFFFFF
+        ):
+            raise ValueError("cell store envelope failed verification")
+        return payload
+
+    cells: Dict[str, bytes] = {}
+    stale_fields = dict(key_dict)
+    stale_fields["version"] = str(key_dict.get("version", "")) + "-old"
+    cells[address(stale_fields)] = envelope(stale)
+
+    digest = address(key_dict)
+    if digest not in cells:  # miss: compute and persist the fresh result
+        cells[digest] = envelope(fresh)
+    return open_envelope(cells[digest])
+
+
+# ----------------------------------------------------------------------
+# 9. Model-discipline mutants (wrappers around a generated protocol).
 # ----------------------------------------------------------------------
 DISCIPLINE_BUGS: Tuple[str, ...] = ("broken-prefix", "impure-state")
 

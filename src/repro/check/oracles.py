@@ -29,6 +29,12 @@ GeneratedCase`) and checks one cross-layer agreement property:
                       independent k-replica simulation are all
                       bit-identical to ``run_protocol`` under the same
                       coin seed.
+``store-roundtrip``   a result cached through ``repro.store`` is served
+                      byte-identical to the freshly computed analysis,
+                      a code-version bump makes the old entry
+                      unreachable, corruption raises instead of
+                      serving, and an independent minimal cell store
+                      agrees on the served bytes.
 ==================== ==================================================
 
 Every oracle carries a ``bugs`` tuple naming the planted defects of
@@ -67,6 +73,7 @@ __all__ = [
     "SamplerOracle",
     "InvariantsOracle",
     "NetworkOracle",
+    "StoreRoundtripOracle",
     "ALL_ORACLES",
     "oracle_by_name",
 ]
@@ -452,6 +459,105 @@ def _run_mismatch(truth: Any, candidate: Any) -> Optional[str]:
     return None
 
 
+class StoreRoundtripOracle(Oracle):
+    """Cached serving through ``repro.store`` vs fresh computation.
+
+    The fresh result is the case's exact analysis (information cost and
+    expected communication) rendered as canonical JSON; a deliberately
+    different *stale* payload plays the part of a result computed by an
+    older kernel.  The production :class:`repro.store.ResultStore` (in a
+    throwaway directory) must serve the fresh payload back
+    byte-identical, report the key unreachable after a code-version
+    bump, and raise :exc:`repro.store.StoreCorruptedError` when the
+    entry file is truncated — never serve damaged bytes.  The served
+    bytes are then compared against the independent minimal cell store
+    of :func:`repro.check.mutations.store_serve` (the planted-bug
+    carrier): a reference that addresses entries without the version
+    tag serves the stale payload, and one that tears its envelope
+    serves a short one, so either defect shows up as a byte mismatch.
+    """
+
+    name = "store-roundtrip"
+    bugs = mutations.STORE_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        import tempfile
+        from dataclasses import replace
+
+        from ..store import (
+            ResultKey,
+            ResultStore,
+            StoreCorruptedError,
+            canonical_json,
+        )
+
+        ic = mutual_information(
+            transcript_joint(case.protocol, case.input_dist),
+            "transcript",
+            "inputs",
+        )
+        cost = expected_communication(case.protocol, case.input_dist)
+        fresh = canonical_json(
+            {"information_cost": ic, "expected_communication": cost}
+        ).encode("ascii")
+        # What an older kernel would have cached for the same cell: the
+        # same schema with a visibly different value.
+        stale = canonical_json(
+            {"information_cost": ic + 1.0, "expected_communication": cost}
+        ).encode("ascii")
+        key = ResultKey(
+            experiment="check.store-roundtrip",
+            params={
+                "players": case.protocol.num_players,
+                "inputs": len(case.input_tuples),
+            },
+            seed=case.spec.seed,
+            version="store-roundtrip-oracle/1",
+        )
+
+        with tempfile.TemporaryDirectory(prefix="repro-check-store-") as root:
+            store = ResultStore(root)
+            path = store.put(key, fresh)
+            served = store.get(key)
+            if served != fresh:
+                return self._fail(
+                    f"production store served {served!r} for a fresh put "
+                    f"of {fresh!r}"
+                )
+            bumped = replace(key, version=key.version + "-bumped")
+            if store.contains(bumped):
+                return self._fail(
+                    "entry is still reachable after a code-version bump: "
+                    "stale results would be served for new kernels"
+                )
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            with open(path, "wb") as handle:
+                handle.write(blob[:-1])
+            try:
+                store.get(key)
+            except StoreCorruptedError:
+                pass
+            else:
+                return self._fail(
+                    "truncated entry was served instead of raising "
+                    "StoreCorruptedError"
+                )
+
+        reference = mutations.store_serve(
+            fresh, stale, key.to_dict(), bug=bug
+        )
+        if reference != fresh:
+            return self._fail(
+                f"cell-store reference served {reference!r}, production "
+                f"served {fresh!r}"
+            )
+        return self._ok(
+            f"{len(fresh)}-byte result round-tripped byte-identical; "
+            "version bump misses; truncation raises"
+        )
+
+
 #: The full inventory, in the order the harness runs them (cheap and
 #: structural first so a malformed case fails fast).
 ALL_ORACLES: Tuple[Oracle, ...] = (
@@ -461,6 +567,7 @@ ALL_ORACLES: Tuple[Oracle, ...] = (
     ClosedFormOracle(),
     SamplerOracle(),
     NetworkOracle(),
+    StoreRoundtripOracle(),
     MonteCarloOracle(),
 )
 

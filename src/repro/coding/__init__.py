@@ -3,6 +3,7 @@ combinadic subset encoding (used by the Section 5 protocol), and Huffman
 coding (reference [20])."""
 
 from .bitio import BitReader, BitWriter, Bits, concat_bits
+from .integrity import CRC_BYTES, IntegrityError, crc32, seal, unseal
 from .combinatorial import (
     binomial,
     decode_subset,
@@ -41,6 +42,11 @@ __all__ = [
     "encode_subset",
     "decode_subset",
     "HuffmanCode",
+    "CRC_BYTES",
+    "IntegrityError",
+    "crc32",
+    "seal",
+    "unseal",
     "encode_unary",
     "decode_unary",
     "encode_elias_gamma",

@@ -14,6 +14,12 @@ Usage::
     # Networked execution (see docs/networking.md):
     python -m repro.experiments E1 --transport loopback   # via repro.net
 
+    # Result store (see docs/store.md): cold run computes and
+    # checkpoints, warm re-run is pure cache hits, byte-identical:
+    python -m repro.experiments E1 E2 E4 --store .store
+    REPRO_STORE=.store python -m repro.experiments all    # same, via env
+    python -m repro.experiments E1 --no-store             # force cold
+
 Each experiment prints its rendered table (the same table the benchmark
 harness writes to ``benchmarks/results/``).  With ``--trace`` every
 instrumented subsystem (runner, exact analyzer, samplers, Monte-Carlo)
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
@@ -85,6 +92,21 @@ def main(argv=None) -> int:
              "route every message through the repro.net broadcast "
              "runtime (tables are byte-identical across backends)",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="serve experiment grid cells from the content-addressed "
+             "result store at DIR, checkpointing fresh cells into it "
+             "(resumable sweeps; warm re-runs are pure cache hits and "
+             "byte-identical — see docs/store.md).  Defaults to the "
+             "REPRO_STORE environment variable when set",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="compute everything fresh, ignoring --store and REPRO_STORE",
+    )
     args = parser.parse_args(argv)
 
     if not args.experiments:
@@ -112,6 +134,13 @@ def main(argv=None) -> int:
         using_tracer,
     )
 
+    store = None
+    store_dir = args.store or os.environ.get("REPRO_STORE")
+    if store_dir and not args.no_store:
+        from ..store import ResultStore
+
+        store = ResultStore(store_dir)
+
     tracer = JsonlTracer(args.trace) if args.trace else None
     try:
         with using_tracer(tracer):
@@ -131,6 +160,8 @@ def main(argv=None) -> int:
                     runner, "transport"
                 ):
                     kwargs["transport"] = args.transport
+                if store is not None and _supports_kwarg(runner, "store"):
+                    kwargs["store"] = store
                 started = time.monotonic()
                 table = runner(**kwargs)
                 elapsed = time.monotonic() - started

@@ -18,7 +18,7 @@ protocols in the class.  The table shows:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..core.analysis import conditional_information_cost
 from ..lowerbounds.hard_distribution import and_hard_distribution
@@ -27,6 +27,9 @@ from ..lowerbounds.optimal_information import (
     minimum_zero_error_external_ic,
 )
 from ..protocols.and_protocols import SequentialAndProtocol
+from ..store.keys import code_version
+from ..store.store import ResultStore
+from ..store.sweep import checkpointed_map_grid
 from .tables import ExperimentTable
 
 __all__ = ["run", "DEFAULT_KS"]
@@ -34,7 +37,35 @@ __all__ = ["run", "DEFAULT_KS"]
 DEFAULT_KS: Sequence[int] = (2, 3, 4, 6, 8, 10)
 
 
-def run(ks: Sequence[int] = DEFAULT_KS) -> ExperimentTable:
+def _measure_grid_point(k: int) -> Tuple[float, float]:
+    """One E14 grid task: the certified optimum and the sequential
+    protocol's CIC at ``k``.  Pure, so the sweep parallelizes (and
+    caches) without changing any value."""
+    optimum = minimum_zero_error_cic(k)
+    sequential = conditional_information_cost(
+        SequentialAndProtocol(k), and_hard_distribution(k)
+    )
+    return optimum, sequential
+
+
+def _measure_external(k: int) -> Tuple[float, float]:
+    """The external-IC contrast cell: certified AND vs XOR optima under
+    uniform inputs at ``k``."""
+    and_external = minimum_zero_error_external_ic(
+        k, lambda x: int(all(x)), [0.5] * k
+    )
+    xor_external = minimum_zero_error_external_ic(
+        k, lambda x: sum(x) % 2, [0.5] * k
+    )
+    return and_external, xor_external
+
+
+def run(
+    ks: Sequence[int] = DEFAULT_KS,
+    *,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="E14",
         title="Certified minimum information cost of AND_k "
@@ -50,11 +81,16 @@ def run(ks: Sequence[int] = DEFAULT_KS) -> ExperimentTable:
         ],
     )
     ratios = []
-    for k in ks:
-        optimum = minimum_zero_error_cic(k)
-        sequential = conditional_information_cost(
-            SequentialAndProtocol(k), and_hard_distribution(k)
-        )
+    measurements = checkpointed_map_grid(
+        _measure_grid_point,
+        list(ks),
+        store=store,
+        experiment="E14",
+        version=code_version("E14"),
+        params_of=lambda k: {"k": k},
+        workers=workers,
+    )
+    for k, (optimum, sequential) in zip(ks, measurements):
         ratio = optimum / math.log2(k)
         ratios.append(ratio)
         table.add_row(
@@ -69,11 +105,14 @@ def run(ks: Sequence[int] = DEFAULT_KS) -> ExperimentTable:
         "with certified constant ~1/2 in this class"
     )
     k = max(ks)
-    and_external = minimum_zero_error_external_ic(
-        k, lambda x: int(all(x)), [0.5] * k
-    )
-    xor_external = minimum_zero_error_external_ic(
-        k, lambda x: sum(x) % 2, [0.5] * k
+    ((and_external, xor_external),) = checkpointed_map_grid(
+        _measure_external,
+        [k],
+        store=store,
+        experiment="E14-external",
+        version=code_version("E14-external"),
+        params_of=lambda k: {"k": k},
+        workers=None,  # a single cell; never worth a process pool
     )
     table.add_note(
         f"external-IC optima under uniform inputs at k={k}: "

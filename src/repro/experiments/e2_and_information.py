@@ -31,7 +31,9 @@ from typing import Optional, Sequence, Tuple
 
 from ..core.analysis import conditional_information_cost
 from ..lowerbounds.hard_distribution import and_hard_distribution
-from ..perf import map_grid
+from ..store.keys import code_version
+from ..store.store import ResultStore
+from ..store.sweep import checkpointed_map_grid
 from ..protocols.and_protocols import (
     FullBroadcastAndProtocol,
     SequentialAndProtocol,
@@ -67,7 +69,10 @@ def _measure_grid_point(k: int) -> Tuple[float, float, bool]:
 
 
 def run(
-    ks: Sequence[int] = DEFAULT_KS, *, workers: Optional[int] = None
+    ks: Sequence[int] = DEFAULT_KS,
+    *,
+    workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="E2",
@@ -83,7 +88,15 @@ def run(
         ],
     )
     ratios = []
-    measurements = map_grid(_measure_grid_point, list(ks), workers=workers)
+    measurements = checkpointed_map_grid(
+        _measure_grid_point,
+        list(ks),
+        store=store,
+        experiment="E2",
+        version=code_version("E2"),
+        params_of=lambda k: {"k": k},
+        workers=workers,
+    )
     for k, (cic_seq, cic_full, truncated) in zip(ks, measurements):
         log2k = math.log2(k)
         ratio = cic_seq / log2k if log2k > 0 else float("nan")

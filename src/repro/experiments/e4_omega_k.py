@@ -18,7 +18,9 @@ import functools
 from typing import List, Optional, Sequence, Tuple
 
 from ..lowerbounds.fooling import TruncatedAndProtocol, lemma6_report
-from ..perf import map_grid
+from ..store.keys import code_version
+from ..store.store import ResultStore
+from ..store.sweep import checkpointed_map_grid
 from .tables import ExperimentTable
 
 __all__ = ["run", "DEFAULT_KS"]
@@ -43,6 +45,7 @@ def run(
     eps: float = 0.1,
     budget_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.875, 1.0),
     workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentTable:
     table = ExperimentTable(
         experiment_id="E4",
@@ -64,9 +67,17 @@ def run(
         for k in ks
         for fraction in budget_fractions
     ]
-    measurements = map_grid(
+    measurements = checkpointed_map_grid(
         functools.partial(_measure_grid_point, eps_prime=eps_prime),
         grid,
+        store=store,
+        experiment="E4",
+        version=code_version("E4"),
+        # eps_prime changes the measured errors, so it is part of the
+        # cell address alongside the grid point.
+        params_of=lambda point: {
+            "k": point[0], "budget": point[1], "eps_prime": eps_prime,
+        },
         workers=workers,
     )
     by_point = dict(zip(grid, measurements))

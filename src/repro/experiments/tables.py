@@ -79,9 +79,15 @@ class ExperimentTable:
         return "\n".join(lines) + "\n"
 
     def save(self, directory: str) -> str:
-        """Write the rendered table to ``<directory>/<id>.txt``."""
+        """Write the rendered table to ``<directory>/<id>.txt``.
+
+        The write is atomic (temp file + rename, via the result store's
+        helper): a sweep crashing mid-save leaves the previous complete
+        table in place, never a truncated one.
+        """
+        from ..store.store import atomic_write_text
+
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.experiment_id}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.render())
+        atomic_write_text(path, self.render())
         return path

@@ -41,12 +41,12 @@ party advance its replica of the shared coin stream in lockstep with
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, List, Tuple
 
 from ..coding.bitio import BitReader, BitWriter, Bits
+from ..coding.integrity import crc32
 from ..coding.varint import (
     decode_elias_delta,
     decode_elias_gamma,
@@ -166,8 +166,7 @@ def encode_frame(frame: Frame) -> bytes:
             f"frame body of {len(body)} bytes exceeds MAX_BODY_BYTES"
         )
     prefix = pack_bits(encode_elias_delta(len(body)))
-    crc = zlib.crc32(body) & 0xFFFFFFFF
-    return prefix + body + crc.to_bytes(_CRC_BYTES, "big")
+    return prefix + body + crc32(body).to_bytes(_CRC_BYTES, "big")
 
 
 def _decode_prefix(buffer: bytes) -> Tuple[int, int]:
@@ -213,7 +212,7 @@ def decode_frame(buffer: bytes) -> Tuple[Frame, int]:
         )
     body = buffer[prefix_len : prefix_len + body_len]
     crc_bytes = buffer[prefix_len + body_len : total]
-    if (zlib.crc32(body) & 0xFFFFFFFF) != int.from_bytes(crc_bytes, "big"):
+    if crc32(body) != int.from_bytes(crc_bytes, "big"):
         raise FrameCorrupted("checksum mismatch")
     reader = BitReader(unpack_bits(body))
     try:

@@ -48,6 +48,11 @@ Metric naming used by the instrumented subsystems:
 ``net_bytes_on_wire``                 encoded frame bytes, by transport
 ``net_retries``                       party watchdog retries, by party
 ``net_faults_injected``               injected faults, by fault and transport
+``store_hits``                        result-store cache hits, by experiment
+``store_misses``                      result-store misses, by experiment
+``store_bytes``                       payload bytes served/persisted, by
+                                      direction (``read``/``write``)
+``store_evictions``                   entries evicted by ``gc``
 ====================================  =======================================
 """
 

@@ -86,6 +86,7 @@ def map_grid(
     workers: Optional[int] = None,
     base_seed: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> List[Any]:
     """Evaluate ``fn`` over ``items``, optionally across processes.
 
@@ -103,6 +104,14 @@ def map_grid(
         workers; negative means one worker per CPU.
     base_seed:
         Optional sweep-level seed from which per-task seeds are derived.
+    on_result:
+        Optional parent-side callback invoked as ``on_result(index,
+        result)`` for each task, in submission order, as results become
+        available (immediately after each task when serial, as each
+        future resolves when parallel).  This is the checkpoint hook of
+        :mod:`repro.store.sweep`: a crash mid-sweep loses at most the
+        not-yet-resolved suffix, because every delivered result was
+        already handed to the callback.
 
     Returns
     -------
@@ -130,6 +139,8 @@ def map_grid(
             for index, item in enumerate(items):
                 seed = seeds[index]
                 results.append(fn(item) if seed is None else fn(item, seed))
+                if on_result is not None:
+                    on_result(index, results[-1])
                 if tracer:
                     tracer.event("grid_task_done", index=index)
         return results
@@ -151,6 +162,8 @@ def map_grid(
                 index, result, snapshot = future.result()
                 ordered[index] = result
                 snapshots[index] = snapshot
+                if on_result is not None:
+                    on_result(index, result)
                 if tracer:
                     tracer.event("grid_task_done", index=index)
     if reg is not None:

@@ -1,0 +1,123 @@
+"""Result-store maintenance CLI.
+
+Usage::
+
+    python -m repro.store stats  --dir .store
+    python -m repro.store verify --dir .store [--delete]
+    python -m repro.store gc     --dir .store --max-bytes 100000000
+    python -m repro.store warm   --dir .store E1 E2 E4   # or 'all'
+
+``stats`` prints entry counts and sizes by experiment; ``verify``
+re-reads and checksums every entry (exit 1 if any is corrupt;
+``--delete`` reclaims them); ``gc`` evicts least-recently-used entries
+until the store fits the bound; ``warm`` runs experiment sweeps through
+the store so later runs (benchmarks, the experiment CLI, serving) are
+pure cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .store import ResultStore
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Maintain the content-addressed result store "
+                    "(see docs/store.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dir(p):
+        p.add_argument(
+            "--dir", required=True, metavar="DIR",
+            help="store root directory",
+        )
+
+    stats = sub.add_parser("stats", help="entry counts and sizes")
+    add_dir(stats)
+
+    verify = sub.add_parser("verify", help="checksum every entry")
+    add_dir(verify)
+    verify.add_argument(
+        "--delete", action="store_true",
+        help="remove corrupt entries instead of just reporting them",
+    )
+
+    gc = sub.add_parser("gc", help="evict LRU entries down to a bound")
+    add_dir(gc)
+    gc.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="target store size in bytes",
+    )
+
+    warm = sub.add_parser(
+        "warm", help="run experiment sweeps through the store"
+    )
+    add_dir(warm)
+    warm.add_argument(
+        "experiments", nargs="+",
+        help="experiment ids to warm (those that support the store), "
+             "or 'all'",
+    )
+    warm.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the underlying sweeps",
+    )
+
+    args = parser.parse_args(argv)
+    store = ResultStore(args.dir)
+
+    if args.command == "stats":
+        print(store.stats().render(), end="")
+        return 0
+
+    if args.command == "verify":
+        report = store.verify_all(delete=args.delete)
+        print(f"verified {report.checked} entries")
+        for path in report.corrupt:
+            marker = "removed" if path in report.removed else "CORRUPT"
+            print(f"  {marker}: {path}")
+        return 0 if report.ok else 1
+
+    if args.command == "gc":
+        evicted = store.gc(args.max_bytes)
+        print(
+            f"evicted {len(evicted)} entries; store now "
+            f"{store.total_bytes()} bytes"
+        )
+        return 0
+
+    # warm — import lazily so store maintenance never pays for the
+    # experiment stack.
+    from ..experiments import ALL_EXPERIMENTS
+    from ..experiments.__main__ import _experiment_order, _supports_kwarg
+
+    selected = args.experiments
+    if len(selected) == 1 and selected[0].lower() == "all":
+        selected = sorted(ALL_EXPERIMENTS, key=_experiment_order)
+    selected = [eid.upper() for eid in selected]
+    unknown = [eid for eid in selected if eid not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+    warmed = 0
+    for eid in selected:
+        runner = ALL_EXPERIMENTS[eid]
+        if not _supports_kwarg(runner, "store"):
+            print(f"  {eid}: no store support, skipped")
+            continue
+        kwargs = {"store": store}
+        if args.workers is not None and _supports_kwarg(runner, "workers"):
+            kwargs["workers"] = args.workers
+        runner(**kwargs)
+        warmed += 1
+        print(f"  {eid}: warmed")
+    print(f"warmed {warmed} experiments; " + store.stats().render(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Checkpointed, resumable experiment sweeps over the result store.
+
+:func:`checkpointed_map_grid` is a drop-in wrapper around
+:func:`repro.perf.map_grid` that makes a grid sweep *resumable* and a
+re-run *pure cache hits*:
+
+* before computing anything it probes the store for every cell's
+  :class:`~repro.store.keys.ResultKey` and serves the hits;
+* only the missing cells are dispatched to ``map_grid`` — with their
+  *original* grid indices' derived seeds, so which cells happen to be
+  cached can never change any computed value;
+* each missing cell's result is ``put`` the moment it resolves (the
+  ``on_result`` checkpoint hook), atomically — the store itself *is* the
+  checkpoint, there is no separate manifest to tear.  A sweep killed
+  mid-grid (even SIGKILL) resumes from the last finished cell.
+
+Results are stored as canonical JSON (:func:`repro.store.keys.
+canonical_json`), which round-trips Python ints, floats (``repr``
+shortest-form, bit-exact), bools, strings, and nested tuples/lists
+exactly; tuples come back as tuples.  That is what makes a cached cell
+**byte-identical** to a fresh computation — the whole contract of the
+store — and it is pinned by ``tests/store/test_warm_identity.py`` and
+the ``store-roundtrip`` fuzz oracle.
+
+A corrupt entry (detected by the store's CRC seal) is treated as a miss:
+the damaged file is deleted and the cell recomputed, so bit rot degrades
+a warm run to a partially-cold one instead of failing it.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..obs.trace import get_tracer
+from ..perf.grid import derive_seed, map_grid
+from .keys import ResultKey, canonical_json
+from .store import ResultStore, StoreCorruptedError
+
+__all__ = ["checkpointed_map_grid", "encode_result", "decode_result"]
+
+
+def encode_result(result: Any) -> bytes:
+    """Serialize one cell result to its canonical payload bytes."""
+    return canonical_json(result).encode("ascii")
+
+
+def _tupled(value: Any) -> Any:
+    """JSON arrays back to tuples, recursively (grid cells return
+    tuples; the round-trip must hand back exactly what ``fn`` did)."""
+    if isinstance(value, list):
+        return tuple(_tupled(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _tupled(item) for key, item in value.items()}
+    return value
+
+
+def decode_result(payload: bytes) -> Any:
+    """Inverse of :func:`encode_result` (tuples restored)."""
+    return _tupled(json.loads(payload.decode("ascii")))
+
+
+def _call_cell(task: Tuple[Any, Optional[int]], fn: Callable[..., Any]) -> Any:
+    """Module-level (picklable) shim: run one cell with its pre-derived
+    seed, so a partial grid still sees full-grid seeds."""
+    item, seed = task
+    return fn(item) if seed is None else fn(item, seed)
+
+
+def checkpointed_map_grid(
+    fn: Callable[..., Any],
+    items: Sequence[Any],
+    *,
+    store: Optional[ResultStore],
+    experiment: str,
+    version: str,
+    params_of: Optional[Callable[[Any], Any]] = None,
+    workers: Optional[int] = None,
+    base_seed: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``fn`` over ``items`` through the result store.
+
+    Parameters mirror :func:`repro.perf.map_grid`; the sweep-specific
+    ones:
+
+    store:
+        The :class:`ResultStore` to serve from and checkpoint into.
+        ``None`` degrades to a plain ``map_grid`` call (identical
+        behavior, zero overhead) so callers need no branching.
+    experiment / version:
+        The kernel id and its code-version tag
+        (:func:`repro.store.keys.code_version`); both are part of every
+        cell's address, so a version bump makes every stale entry
+        unreachable.
+    params_of:
+        Maps an item to the cell's canonical parameters (default: the
+        item itself).  Must cover *every* input that influences the
+        computed value — closure kwargs included — or distinct cells
+        would share an address.
+
+    Returns the results in grid order, exactly as ``map_grid`` would.
+    """
+    if store is None:
+        return map_grid(
+            fn, items, workers=workers, base_seed=base_seed
+        )
+    if params_of is None:
+        params_of = lambda item: item  # noqa: E731
+    items = list(items)
+    seeds: List[Optional[int]] = [
+        derive_seed(base_seed, index) if base_seed is not None else None
+        for index in range(len(items))
+    ]
+    keys: List[ResultKey] = [
+        ResultKey(
+            experiment=experiment,
+            params=params_of(item),
+            seed=seeds[index],
+            version=version,
+        )
+        for index, item in enumerate(items)
+    ]
+
+    results: List[Any] = [None] * len(items)
+    missing: List[int] = []
+    for index, key in enumerate(keys):
+        try:
+            payload = store.get(key)
+        except StoreCorruptedError:
+            # Bit rot degrades to a recompute, never to a wrong serve.
+            store.delete(key)
+            payload = None
+        if payload is None:
+            missing.append(index)
+        else:
+            results[index] = decode_result(payload)
+
+    tracer = get_tracer()
+    with tracer.span(
+        "checkpointed_sweep",
+        experiment=experiment,
+        cells=len(items),
+        hits=len(items) - len(missing),
+        misses=len(missing),
+    ):
+        if missing:
+
+            def checkpoint(position: int, result: Any) -> None:
+                index = missing[position]
+                store.put(keys[index], encode_result(result))
+                results[index] = result
+
+            map_grid(
+                functools.partial(_call_cell, fn=fn),
+                [(items[index], seeds[index]) for index in missing],
+                workers=workers,
+                base_seed=None,  # seeds pre-derived from the full grid
+                on_result=checkpoint,
+            )
+    return results

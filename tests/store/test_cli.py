@@ -1,0 +1,100 @@
+"""python -m repro.store: the maintenance CLI, driven in-process."""
+
+import os
+
+import pytest
+
+from repro.store import ResultKey, ResultStore
+from repro.store.__main__ import main
+
+
+def populate(root, count=3, size=64):
+    store = ResultStore(root)
+    for i in range(count):
+        store.put(
+            ResultKey(
+                experiment="T", params={"cell": i}, seed=None, version="t/1"
+            ),
+            bytes(size),
+        )
+    return store
+
+
+def test_stats(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    populate(root)
+    assert main(["stats", "--dir", root]) == 0
+    out = capsys.readouterr().out
+    assert "entries:     3" in out
+    assert "T" in out
+
+
+def test_verify_clean_then_corrupt(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    store = populate(root)
+    assert main(["verify", "--dir", root]) == 0
+
+    victim = next(store.entries()).path
+    with open(victim, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        handle.write(b"\x00")
+    assert main(["verify", "--dir", root]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
+
+    # --delete reclaims the damaged entry; the store is then clean.
+    assert main(["verify", "--dir", root, "--delete"]) == 1
+    assert "removed" in capsys.readouterr().out
+    assert main(["verify", "--dir", root]) == 0
+    assert ResultStore(root).stats().entries == 2
+
+
+def test_gc_respects_bound(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    store = populate(root, count=4, size=256)
+    per_entry = store.total_bytes() // 4
+    assert main(["gc", "--dir", root, "--max-bytes", str(2 * per_entry)]) == 0
+    assert "evicted 2 entries" in capsys.readouterr().out
+    assert ResultStore(root).total_bytes() <= 2 * per_entry
+
+
+def test_gc_to_zero_empties_a_cold_store(tmp_path):
+    root = str(tmp_path / "store")
+    populate(root)
+    assert main(["gc", "--dir", root, "--max-bytes", "0"]) == 0
+    assert ResultStore(root).stats().entries == 0
+
+
+def test_warm_rejects_unknown_experiment(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["warm", "--dir", str(tmp_path / "store"), "E999"])
+
+
+def test_warm_skips_experiments_without_store_support(tmp_path, capsys):
+    # E3 has no cacheable sweep; warm must say so and exit cleanly.
+    assert main(["warm", "--dir", str(tmp_path / "store"), "E3"]) == 0
+    out = capsys.readouterr().out
+    assert "no store support, skipped" in out
+    assert "warmed 0 experiments" in out
+
+
+def test_warm_populates_then_serves(tmp_path, capsys):
+    # E2's default grid is small enough to warm for real; afterwards the
+    # experiment runs entirely from the store.
+    from repro.experiments import e2_and_information as e2
+    from repro.obs import REGISTRY
+
+    root = str(tmp_path / "store")
+    assert main(["warm", "--dir", root, "e2"]) == 0
+    out = capsys.readouterr().out
+    assert "E2: warmed" in out
+
+    was = REGISTRY.enabled
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    try:
+        e2.run(store=ResultStore(root))
+        assert REGISTRY.counter("store_misses").total() == 0
+        assert REGISTRY.counter("store_hits").total() > 0
+    finally:
+        REGISTRY.enabled = was
+        REGISTRY.reset()

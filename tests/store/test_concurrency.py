@@ -1,0 +1,88 @@
+"""Concurrent writers: atomic publication with no locking.
+
+The store's claim (``docs/store.md``): two processes putting the same
+key at the same instant both publish a *complete* entry via temp file +
+rename; the last rename wins, readers never observe a torn file, and a
+subsequent ``get`` verifies and serves normally.  This is what makes
+the store safe as the shared cache under ``perf.map_grid`` workers.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.obs import REGISTRY
+from repro.store import ResultKey, ResultStore
+
+KEY = ResultKey(
+    experiment="race", params={"cell": 0}, seed=None, version="race/1"
+)
+
+
+def _writer(root, barrier, writer_id, payload):
+    store = ResultStore(root)
+    barrier.wait()  # both processes rename as close together as possible
+    for _ in range(50):
+        store.put(KEY, payload)
+
+
+def _run_race(root, payloads):
+    ctx = multiprocessing.get_context()
+    barrier = ctx.Barrier(len(payloads))
+    procs = [
+        ctx.Process(target=_writer, args=(root, barrier, i, payload))
+        for i, payload in enumerate(payloads)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+
+@pytest.mark.parametrize("round_", range(3))
+def test_same_key_same_payload_race(tmp_path, round_):
+    root = str(tmp_path / "store")
+    payload = b'{"value":3.141592653589793}' * 64
+    _run_race(root, [payload, payload])
+    store = ResultStore(root)
+    # Exactly one winner, fully verified, byte-identical.
+    assert [e.digest for e in store.entries()] == [KEY.digest]
+    assert store.verify(KEY) == payload
+    # No stray temp files anywhere in the tree.
+    strays = [
+        name
+        for _, _, names in os.walk(root)
+        for name in names
+        if name.startswith(".tmp-")
+    ]
+    assert strays == []
+
+
+def test_same_key_different_payload_race_still_untorn(tmp_path):
+    # Distinct payloads under one key only happen if a kernel is
+    # nondeterministic (a bug elsewhere) — but even then the store must
+    # never interleave bytes: the entry equals one write or the other.
+    root = str(tmp_path / "store")
+    payloads = [b"A" * 4096, b"B" * 4096]
+    _run_race(root, payloads)
+    served = ResultStore(root).verify(KEY)
+    assert served in payloads
+
+
+def test_counters_consistent_after_race(tmp_path):
+    root = str(tmp_path / "store")
+    payload = b"x" * 128
+    _run_race(root, [payload, payload])
+    was = REGISTRY.enabled
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    try:
+        store = ResultStore(root)
+        assert store.get(KEY) == payload
+        assert REGISTRY.counter("store_hits").value(experiment="race") == 1
+        assert REGISTRY.counter("store_misses").total() == 0
+    finally:
+        REGISTRY.enabled = was
+        REGISTRY.reset()

@@ -1,0 +1,115 @@
+"""Corruption detection: a damaged entry is never served.
+
+Companion to ``tests/coding/test_framing_properties.py`` — the store's
+entry envelope is sealed with the same CRC-32 primitive the wire framing
+uses, and carries the same exhaustive guarantee: *every* single-bit flip
+anywhere in an entry file (magic, header length, header JSON, payload,
+or the checksum itself) raises :exc:`StoreCorruptedError` rather than
+serving bytes that are not provably the cached result.
+"""
+
+import pytest
+
+from repro.store import ResultKey, ResultStore, StoreCorruptedError
+from repro.store.store import decode_entry, encode_entry
+
+KEY = ResultKey(
+    experiment="E2",
+    params={"k": 3},
+    seed=None,
+    version="e2-and-cic/1",
+)
+PAYLOAD = b'{"cic":1.1887218755408671}'
+
+
+@pytest.fixture
+def populated(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    path = store.put(KEY, PAYLOAD)
+    return store, path
+
+
+def test_every_single_bit_flip_is_rejected(populated):
+    store, path = populated
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    for bit in range(len(blob) * 8):
+        mangled = bytearray(blob)
+        mangled[bit // 8] ^= 0x80 >> (bit % 8)
+        with open(path, "wb") as handle:
+            handle.write(bytes(mangled))
+        with pytest.raises(StoreCorruptedError):
+            store.get(KEY)
+
+
+def test_every_strict_prefix_is_rejected(populated):
+    store, path = populated
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    for cut in range(len(blob)):
+        with pytest.raises(StoreCorruptedError):
+            decode_entry(blob[:cut])
+
+
+def test_appended_garbage_is_rejected(populated):
+    _, path = populated
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with pytest.raises(StoreCorruptedError):
+        decode_entry(blob + b"\x00")
+
+
+def test_entry_under_wrong_address_is_rejected(tmp_path):
+    # A byte-perfect entry placed at another key's path (a mis-filed
+    # restore, say) fails the key/address cross-check.
+    store = ResultStore(str(tmp_path / "store"))
+    other = ResultKey(
+        experiment="E2", params={"k": 4}, seed=None, version="e2-and-cic/1"
+    )
+    store.put(KEY, PAYLOAD)
+    import os
+    import shutil
+
+    target = store.path_for(other)
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    shutil.copyfile(store.path_for(KEY), target)
+    with pytest.raises(StoreCorruptedError):
+        store.get(other)
+
+
+def test_verify_all_finds_and_deletes_corruption(populated):
+    store, path = populated
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:-1])
+    report = store.verify_all()
+    assert not report.ok and report.corrupt == (path,)
+    report = store.verify_all(delete=True)
+    assert report.removed == (path,)
+    assert store.verify_all().checked == 0
+
+
+def test_sweep_treats_corruption_as_a_miss(populated):
+    # checkpointed_map_grid must recompute a corrupt cell, not crash.
+    from repro.store import checkpointed_map_grid
+
+    store, path = populated
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(blob[:-2] + b"\xff\xff")
+    results = checkpointed_map_grid(
+        lambda params: params["k"] * 10,
+        [{"k": 3}],
+        store=store,
+        experiment="E2",
+        version="e2-and-cic/1",
+    )
+    assert results == [30]
+    assert store.verify(
+        ResultKey(
+            experiment="E2", params={"k": 3}, seed=None,
+            version="e2-and-cic/1",
+        )
+    ) == b"30"

@@ -1,0 +1,209 @@
+"""checkpointed_map_grid: warm serving, partial resume, SIGKILL safety.
+
+The contract under test (``docs/store.md``): a warm re-run recomputes
+*nothing* and returns results identical to a cold run; a sweep killed
+mid-grid — even with SIGKILL, which runs no cleanup handlers — resumes
+from the last checkpointed cell; and which cells happen to be cached
+can never change any computed value, because per-cell seeds are derived
+from the *full* grid's indices.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.obs import REGISTRY
+from repro.perf import derive_seed
+from repro.store import ResultKey, ResultStore, checkpointed_map_grid
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def seeded_cell(item, seed):
+    return (item, item * item, seed % 1000)
+
+
+def unseeded_cell(item):
+    return item + 0.5
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "store"))
+
+
+class TestWarmAndCold:
+    def test_warm_run_computes_nothing(self, store):
+        calls = []
+
+        def cell(item):
+            calls.append(item)
+            return unseeded_cell(item)
+
+        items = list(range(6))
+        kwargs = dict(store=store, experiment="W", version="w/1")
+        cold = checkpointed_map_grid(cell, items, **kwargs)
+        assert calls == items
+        warm = checkpointed_map_grid(cell, items, **kwargs)
+        assert calls == items  # not one extra call
+        assert warm == cold == [unseeded_cell(i) for i in items]
+
+    def test_counters_pin_hits_and_misses(self, store):
+        items = list(range(5))
+        kwargs = dict(store=store, experiment="W", version="w/1")
+        was = REGISTRY.enabled
+        REGISTRY.reset()
+        REGISTRY.enabled = True
+        try:
+            checkpointed_map_grid(unseeded_cell, items, **kwargs)
+            assert REGISTRY.counter("store_misses").value(experiment="W") == 5
+            assert REGISTRY.counter("store_hits").value(experiment="W") == 0
+            checkpointed_map_grid(unseeded_cell, items, **kwargs)
+            assert REGISTRY.counter("store_misses").value(experiment="W") == 5
+            assert REGISTRY.counter("store_hits").value(experiment="W") == 5
+        finally:
+            REGISTRY.enabled = was
+            REGISTRY.reset()
+
+    def test_no_store_degrades_to_plain_map_grid(self):
+        from repro.perf import map_grid
+
+        items = list(range(4))
+        assert checkpointed_map_grid(
+            seeded_cell, items, store=None, experiment="W", version="w/1",
+            base_seed=3,
+        ) == map_grid(seeded_cell, items, base_seed=3)
+
+    def test_tuples_round_trip_exactly(self, store):
+        items = [2, 7]
+        kwargs = dict(
+            store=store, experiment="W", version="w/1", base_seed=1
+        )
+        cold = checkpointed_map_grid(seeded_cell, items, **kwargs)
+        warm = checkpointed_map_grid(seeded_cell, items, **kwargs)
+        assert warm == cold
+        assert all(isinstance(r, tuple) for r in warm)
+
+
+class TestPartialResume:
+    def test_cached_cells_never_change_computed_seeds(self, store):
+        # Delete two cells from a finished sweep; the recompute must see
+        # the same full-grid seeds, so results are bit-identical.
+        items = list(range(6))
+        kwargs = dict(
+            store=store, experiment="S", version="s/1", base_seed=9
+        )
+        full = checkpointed_map_grid(seeded_cell, items, **kwargs)
+        for index in (1, 4):
+            store.delete(
+                ResultKey(
+                    experiment="S", params=items[index],
+                    seed=derive_seed(9, index), version="s/1",
+                )
+            )
+        seen = []
+
+        def spying(item, seed):
+            seen.append((item, seed))
+            return seeded_cell(item, seed)
+
+        resumed = checkpointed_map_grid(spying, items, **kwargs)
+        assert resumed == full
+        assert seen == [(1, derive_seed(9, 1)), (4, derive_seed(9, 4))]
+
+    def test_version_bump_recomputes_everything(self, store):
+        items = list(range(4))
+        calls = []
+
+        def cell(item):
+            calls.append(item)
+            return unseeded_cell(item)
+
+        checkpointed_map_grid(
+            cell, items, store=store, experiment="S", version="s/1"
+        )
+        checkpointed_map_grid(
+            cell, items, store=store, experiment="S", version="s/2"
+        )
+        assert calls == items * 2
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import os, signal, sys
+
+    from repro.store import ResultStore, checkpointed_map_grid
+
+    root, limit = sys.argv[1], int(sys.argv[2])
+    calls = 0
+
+    def cell(item, seed):
+        global calls
+        calls += 1
+        if calls > limit:
+            os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no flush
+        return (item, item * item, seed % 1000)
+
+    checkpointed_map_grid(
+        cell, list(range(8)), store=ResultStore(root),
+        experiment="K", version="k/1", base_seed=42,
+    )
+    """
+)
+
+
+class TestSigkillResume:
+    def test_killed_sweep_resumes_without_recompute(self, tmp_path):
+        root = str(tmp_path / "store")
+        limit = 3
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", KILL_SCRIPT, root, str(limit)],
+            env=env,
+            capture_output=True,
+            timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+        # Exactly the cells finished before the kill were checkpointed,
+        # each fully verified on disk.
+        store = ResultStore(root)
+        assert store.verify_all().checked == limit
+        assert store.verify_all().ok
+
+        seen = []
+
+        def counting(item, seed):
+            seen.append(item)
+            return seeded_cell(item, seed)
+
+        items = list(range(8))
+        kwargs = dict(
+            store=store, experiment="K", version="k/1", base_seed=42
+        )
+        was = REGISTRY.enabled
+        REGISTRY.reset()
+        REGISTRY.enabled = True
+        try:
+            resumed = checkpointed_map_grid(counting, items, **kwargs)
+            assert REGISTRY.counter("store_hits").value(experiment="K") == limit
+            assert (
+                REGISTRY.counter("store_misses").value(experiment="K")
+                == len(items) - limit
+            )
+        finally:
+            REGISTRY.enabled = was
+            REGISTRY.reset()
+        assert seen == items[limit:]  # nothing recomputed, nothing skipped
+
+        # The resumed sweep equals a from-scratch run in a fresh store.
+        fresh = checkpointed_map_grid(
+            seeded_cell, items,
+            store=ResultStore(str(tmp_path / "fresh")),
+            experiment="K", version="k/1", base_seed=42,
+        )
+        assert resumed == fresh

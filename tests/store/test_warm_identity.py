@@ -1,0 +1,82 @@
+"""End-to-end identity: cached experiment tables == fresh computation.
+
+For each store-enabled experiment (E1/E2/E4/E14, on deliberately small
+grids) three runs must render *byte-identical* tables: a store-less
+run, a cold run that populates the store, and a warm run served
+entirely from it.  The warm run's purity is pinned with the obs
+counters — ``store_hits == cells`` and ``store_misses == 0`` — so a
+silent cache-bypass (or a silent recompute) fails the suite, not just
+the wall-clock.
+"""
+
+import pytest
+
+from repro.experiments import (
+    e1_disjointness_scaling as e1,
+    e2_and_information as e2,
+    e4_omega_k as e4,
+    e14_optimal_information as e14,
+)
+from repro.obs import REGISTRY
+from repro.store import ResultStore
+
+CASES = {
+    # id -> (runner, kwargs, store-addressed cells per run)
+    "E1": (e1.run, {"grid": ((64, 4), (256, 4), (64, 8))}, 3),
+    "E2": (e2.run, {"ks": (2, 3)}, 2),
+    "E4": (e4.run, {"ks": (8,), "budget_fractions": (0.0, 0.5, 1.0)}, 3),
+    # E14 sweeps its ks grid plus one external-IC cell at max(ks).
+    "E14": (e14.run, {"ks": (2, 3)}, 3),
+}
+
+
+@pytest.fixture
+def counters():
+    was = REGISTRY.enabled
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    yield REGISTRY
+    REGISTRY.enabled = was
+    REGISTRY.reset()
+
+
+def total(counter_name):
+    return REGISTRY.counter(counter_name).total()
+
+
+@pytest.mark.parametrize("case", sorted(CASES), ids=sorted(CASES))
+def test_cold_and_warm_tables_byte_identical(case, tmp_path, counters):
+    runner, kwargs, cells = CASES[case]
+    store = ResultStore(str(tmp_path / "store"))
+
+    plain = runner(store=None, **kwargs).render()
+
+    cold = runner(store=store, **kwargs).render()
+    assert total("store_hits") == 0
+    assert total("store_misses") == cells
+
+    warm = runner(store=store, **kwargs).render()
+    assert total("store_misses") == cells  # not one more
+    assert total("store_hits") == cells  # every cell served
+
+    assert cold == plain
+    assert warm == plain  # byte-identical through the cache
+
+    # And the cache survives a process boundary: a brand-new store
+    # instance over the same directory serves the same bytes.
+    rehydrated = runner(
+        store=ResultStore(str(tmp_path / "store")), **kwargs
+    ).render()
+    assert rehydrated == plain
+
+
+def test_e1_seeded_instances_share_nothing_across_seeds(tmp_path, counters):
+    # The seed is part of the address: a different sweep seed must not
+    # be served from the first sweep's entries.
+    store = ResultStore(str(tmp_path / "store"))
+    kwargs = {"grid": ((64, 4),)}
+    e1.run(store=store, seed=0, **kwargs)
+    assert total("store_misses") == 1
+    e1.run(store=store, seed=1, **kwargs)
+    assert total("store_misses") == 2
+    assert total("store_hits") == 0
