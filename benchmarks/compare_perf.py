@@ -114,12 +114,28 @@ def kernel_closed_form_cic():
     sequential_and_cic_closed_form(65536)
 
 
+def kernel_tree_batched_and8_nulltraced():
+    from repro.obs import NullTracer, using_tracer
+
+    with using_tracer(NullTracer()):
+        kernel_tree_batched_and8()
+
+
 KERNELS = {
     "tree_batched_and8": kernel_tree_batched_and8,
+    "tree_batched_and8_nulltraced": kernel_tree_batched_and8_nulltraced,
     "fast_bootstrap": kernel_fast_bootstrap,
     "e1_grid_point": kernel_e1_grid_point,
     "closed_form_cic_k65536": kernel_closed_form_cic,
 }
+
+#: The batched tree walk with an explicitly installed ``NullTracer``
+#: may cost at most this multiple of the plain walk.  Both sides are
+#: timed in the same process on the same machine, so this is a pure
+#: ratio guard — it catches the falsy-guard contract breaking (e.g.
+#: trace events being constructed before the ``if tracer:`` check),
+#: which calibration-scaled absolute baselines would absorb as noise.
+NULL_TRACER_OVERHEAD_CEILING = 1.25
 
 
 def time_e1_sweep():
@@ -176,6 +192,25 @@ def check(baseline, current, tolerance):
                 f"{name}: {now_s:.4f}s > {tolerance}x calibrated "
                 f"baseline {base_s * scale:.4f}s"
             )
+
+    plain_s = current["kernels"]["tree_batched_and8"]
+    nulltraced_s = current["kernels"]["tree_batched_and8_nulltraced"]
+    overhead = nulltraced_s / plain_s
+    verdict = (
+        "ok" if overhead <= NULL_TRACER_OVERHEAD_CEILING else "REGRESSION"
+    )
+    print(
+        f"  null-tracer overhead on the batched tree walk: "
+        f"{overhead:.3f}x (ceiling {NULL_TRACER_OVERHEAD_CEILING}x)  "
+        f"{verdict}"
+    )
+    if overhead > NULL_TRACER_OVERHEAD_CEILING:
+        failures.append(
+            f"NullTracer overhead {overhead:.3f}x > "
+            f"{NULL_TRACER_OVERHEAD_CEILING}x ceiling on "
+            f"tree_batched_and8 — a hot path is paying for tracing "
+            f"while it is off"
+        )
 
     sweep = current["e1_sweep"]
     cpus = current["machine"]["cpu_count"] or 1

@@ -10,9 +10,13 @@ Usage::
     # Observability (see docs/observability.md):
     python -m repro.experiments E2 --trace out.jsonl   # JSONL trace stream
     python -m repro.experiments E7 --metrics           # per-experiment metrics
+    python -m repro.experiments E1 --progress          # live sweep dashboard
+    python -m repro.experiments E1 --telemetry t.jsonl # sweep snapshots
+    python -m repro.experiments E1 --profile p.jsonl   # sampling profiler
 
     # Networked execution (see docs/networking.md):
     python -m repro.experiments E1 --transport loopback   # via repro.net
+    python -m repro.experiments E1 --transport loopback --fault-seed 7
 
     # Result store (see docs/store.md): cold run computes and
     # checkpoints, warm re-run is pure cache hits, byte-identical:
@@ -75,6 +79,33 @@ def main(argv=None) -> int:
              "counters/timing table",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live terminal dashboard for grid sweeps (cells done/total, "
+             "hit rate, throughput, fault counts, ETA) on stderr",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        help="stream periodic sweep-telemetry snapshots to FILE as JSONL "
+             "(schema in docs/observability.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="attach the seeded sampling profiler and stream samples to "
+             "FILE as JSONL (rank with 'python -m repro.obs top FILE')",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        metavar="N",
+        default=None,
+        help="inject recoverable wire faults (drops, delays, corruption, "
+             "crash-restart) seeded by N into experiments run with "
+             "--transport loopback; results stay byte-identical",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         metavar="N",
@@ -126,11 +157,15 @@ def main(argv=None) -> int:
     # Observability is imported lazily so the plain path stays untouched.
     from ..obs import (
         JsonlTracer,
+        ProgressRenderer,
         REGISTRY,
+        TelemetrySink,
         disable_metrics,
         enable_metrics,
         render_metrics,
         set_tracer,
+        set_telemetry,
+        using_telemetry,
         using_tracer,
     )
 
@@ -142,8 +177,20 @@ def main(argv=None) -> int:
         store = ResultStore(store_dir)
 
     tracer = JsonlTracer(args.trace) if args.trace else None
+    telemetry = None
+    if args.telemetry or args.progress:
+        telemetry = TelemetrySink(
+            args.telemetry,
+            renderer=ProgressRenderer() if args.progress else None,
+        )
+    profiler = None
+    if args.profile:
+        from ..obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(args.profile)
+        profiler.start()
     try:
-        with using_tracer(tracer):
+        with using_tracer(tracer), using_telemetry(telemetry):
             for eid in selected:
                 eid = eid.upper()
                 if args.metrics:
@@ -162,8 +209,16 @@ def main(argv=None) -> int:
                     kwargs["transport"] = args.transport
                 if store is not None and _supports_kwarg(runner, "store"):
                     kwargs["store"] = store
+                if args.fault_seed is not None and _supports_kwarg(
+                    runner, "fault_seed"
+                ):
+                    kwargs["fault_seed"] = args.fault_seed
                 started = time.monotonic()
-                table = runner(**kwargs)
+                if tracer:
+                    with tracer.span("experiment", experiment=eid):
+                        table = runner(**kwargs)
+                else:
+                    table = runner(**kwargs)
                 elapsed = time.monotonic() - started
                 if tracer:
                     tracer.event(
@@ -181,6 +236,14 @@ def main(argv=None) -> int:
                     path = table.save(args.save)
                     print(f"saved to {path}\n")
     finally:
+        if profiler is not None:
+            profiler.stop()
+            print(f"profile written to {args.profile}")
+        if telemetry is not None:
+            telemetry.close()
+            if args.telemetry:
+                print(f"telemetry written to {args.telemetry}")
+        set_telemetry(None)
         if tracer:
             tracer.close()
             print(f"trace written to {args.trace}")

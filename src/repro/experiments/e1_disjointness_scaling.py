@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.runner import ProtocolRun, run_protocol
 from ..core.tasks import disjointness_task
 from ..net import TRANSPORTS, run_networked
+from ..net.faults import chaos_plan
 from ..store.keys import code_version
 from ..store.store import ResultStore
 from ..store.sweep import checkpointed_map_grid
@@ -58,14 +59,25 @@ DEFAULT_GRID: Sequence[Tuple[int, int]] = (
 )
 
 
-def _execute(protocol, inputs, transport: str) -> ProtocolRun:
+def _execute(
+    protocol, inputs, transport: str, fault_seed: Optional[int] = None
+) -> ProtocolRun:
     if transport == "memory":
         return run_protocol(protocol, inputs)
-    return run_networked(protocol, inputs, transport=transport)
+    faults = None
+    if fault_seed is not None and transport == "loopback":
+        faults = chaos_plan(fault_seed)
+    return run_networked(
+        protocol, inputs, transport=transport, faults=faults
+    )
 
 
 def measure_point(
-    n: int, k: int, *, transport: str = "memory"
+    n: int,
+    k: int,
+    *,
+    transport: str = "memory",
+    fault_seed: Optional[int] = None,
 ) -> Tuple[int, int, int]:
     """Communication of (optimal, naive, trivial) on the partition
     worst case at one grid point.
@@ -73,7 +85,10 @@ def measure_point(
     ``transport`` selects the execution backend: ``"memory"`` runs
     in-process via :func:`run_protocol`; ``"loopback"`` / ``"tcp"``
     route every message through the :mod:`repro.net` broadcast runtime.
-    The measured bits are identical either way.
+    The measured bits are identical either way — including under
+    ``fault_seed``, which (loopback only) injects the recoverable
+    chaos plan: drops, delays, corruption, and a crash-restart, all of
+    which the runtime absorbs without changing a single counted bit.
     """
     if transport not in E1_TRANSPORTS:
         raise ValueError(
@@ -89,7 +104,7 @@ def measure_point(
         NaiveDisjointnessProtocol(n, k),
         TrivialDisjointnessProtocol(n, k),
     ):
-        outcome = _execute(protocol, inputs, transport)
+        outcome = _execute(protocol, inputs, transport, fault_seed)
         if outcome.output != expected:
             raise AssertionError(
                 f"{type(protocol).__name__} wrong at n={n}, k={k}"
@@ -104,6 +119,7 @@ def _measure_grid_point(
     *,
     check_random_instances: bool,
     transport: str = "memory",
+    fault_seed: Optional[int] = None,
 ) -> Tuple[int, int, int]:
     """One E1 grid task: worst-case bits at ``(n, k)`` plus an optional
     random-instance correctness check.
@@ -114,7 +130,7 @@ def _measure_grid_point(
     result.
     """
     n, k = point
-    bits = measure_point(n, k, transport=transport)
+    bits = measure_point(n, k, transport=transport, fault_seed=fault_seed)
     if check_random_instances:
         rng = random.Random(seed)
         task = disjointness_task(n, k)
@@ -138,8 +154,16 @@ def run(
     workers: Optional[int] = None,
     transport: str = "memory",
     store: Optional[ResultStore] = None,
+    fault_seed: Optional[int] = None,
 ) -> ExperimentTable:
     """Run the E1 sweep and return the result table.
+
+    ``fault_seed`` (with ``transport="loopback"``) injects the seeded
+    recoverable chaos plan into every networked execution; the table
+    stays byte-identical because recoverable faults never change
+    counted bits.  Faulted cells are never served from or written to
+    the store under a different address — the measured value is the
+    same pure function of ``(n, k)``.
 
     ``workers > 1`` evaluates grid points in parallel processes via
     :func:`repro.perf.map_grid`; the rendered table is byte-identical to
@@ -181,6 +205,7 @@ def run(
             _measure_grid_point,
             check_random_instances=check_random_instances,
             transport=transport,
+            fault_seed=fault_seed,
         ),
         list(grid),
         store=store,

@@ -22,15 +22,32 @@ Wire layout::
 
     body bits = kind:4 | gamma(party+1) | gamma(round+1)
               | gamma(coin_draws+1) | gamma(|payload|+1) | payload
-              | zero padding to a byte boundary (< 8 bits)
+              | [extension] | zero padding to a byte boundary (< 8 bits)
+
+The optional *extension* carries the sender's trace context
+(:class:`repro.obs.TraceContext`) so a blackboard server can attribute
+its work under the requesting party's span purely from wire bytes::
+
+    extension = gamma(word_count+1) | gamma(trace_id+1)
+              | gamma(parent_span+1) | ... future words ...
+
+The encoding is version-tolerant in both directions: a frame without
+context is **byte-identical** to the pre-extension wire format (the
+padding after the payload is all-zero and shorter than a byte, which no
+gamma code can be — every gamma code contains a ``1`` bit), and a
+decoder accepts any ``word_count`` — 0 or 1 words degrade to a partial
+context, words beyond the two it understands are ignored, so old and
+new peers interoperate.
 
 Decoding is strict: nonzero padding, an out-of-range kind, a length
 prefix that disagrees with the parsed fields, or a checksum mismatch all
 raise :class:`~repro.net.errors.FrameCorrupted`; a buffer that simply
 ends too early raises :class:`~repro.net.errors.FrameTruncated` so
 stream decoders know to wait for more bytes.  Any single-bit flip on the
-wire is therefore detected (CRC-32 catches all single-bit errors), which
-is the property the fault injector's corruption class leans on.
+wire is therefore detected (CRC-32 catches all single-bit errors) —
+*before* any context parse, so a corrupted frame can never mis-parent a
+span — which is the property the fault injector's corruption class
+leans on.
 
 The ``coin_draws`` field is the determinism keystone: it tells every
 observer how many private-coin draws the speaker consumed producing the
@@ -43,7 +60,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..coding.bitio import BitReader, BitWriter, Bits
 from ..coding.integrity import crc32
@@ -113,6 +130,10 @@ class Frame:
     length for WELCOME.  ``coin_draws`` is the number of private-coin
     draws the speaker consumed sampling ``payload`` (0 or 1; always 0
     for control frames).
+
+    ``trace_id``/``parent_span`` are the sender's trace context
+    (``None`` = untraced; encodes byte-identically to the pre-extension
+    format).  A ``parent_span`` requires a ``trace_id``.
     """
 
     kind: FrameKind
@@ -120,6 +141,8 @@ class Frame:
     round_index: int = 0
     coin_draws: int = 0
     payload: Bits = ""
+    trace_id: Optional[int] = None
+    parent_span: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.party < 0:
@@ -130,6 +153,15 @@ class Frame:
             raise ValueError(f"coin_draws must be >= 0, got {self.coin_draws}")
         if not all(c in "01" for c in self.payload):
             raise ValueError(f"payload must be a bit string: {self.payload!r}")
+        if self.trace_id is not None and self.trace_id < 0:
+            raise ValueError(f"trace_id must be >= 0, got {self.trace_id}")
+        if self.parent_span is not None:
+            if self.trace_id is None:
+                raise ValueError("parent_span requires a trace_id")
+            if self.parent_span < 0:
+                raise ValueError(
+                    f"parent_span must be >= 0, got {self.parent_span}"
+                )
 
 
 def pack_bits(bits: Bits) -> bytes:
@@ -155,6 +187,13 @@ def _body_bits(frame: Frame) -> Bits:
     writer.write_bits(encode_elias_gamma(frame.coin_draws + 1))
     writer.write_bits(encode_elias_gamma(len(frame.payload) + 1))
     writer.write_bits(frame.payload)
+    if frame.trace_id is not None:
+        words = [frame.trace_id + 1]
+        if frame.parent_span is not None:
+            words.append(frame.parent_span + 1)
+        writer.write_bits(encode_elias_gamma(len(words) + 1))
+        for word in words:
+            writer.write_bits(encode_elias_gamma(word))
     return writer.getvalue()
 
 
@@ -228,10 +267,36 @@ def decode_frame(buffer: bytes) -> Tuple[Frame, int]:
         kind = FrameKind(kind_value)
     except ValueError as exc:
         raise FrameCorrupted(f"unknown frame kind {kind_value}") from exc
+    body_bits = unpack_bits(body)
+    trace_id: Optional[int] = None
+    parent_span: Optional[int] = None
     if reader.remaining >= 8 or any(
-        c != "0" for c in unpack_bits(body)[reader.position :]
+        c != "0" for c in body_bits[reader.position :]
     ):
-        raise FrameCorrupted("nonzero or oversized body padding")
+        # Not legacy padding (all-zero, sub-byte) — a context extension
+        # block follows the payload.  The CRC already vouched for the
+        # bytes, so a parse failure here is a framing bug upstream, not
+        # line noise; it is still reported as corruption.
+        try:
+            word_count = decode_elias_gamma(reader) - 1
+            words = [
+                decode_elias_gamma(reader) - 1 for _ in range(word_count)
+            ]
+        except EOFError as exc:
+            raise FrameCorrupted(
+                f"context extension overruns the frame body: {exc}"
+            ) from exc
+        # Version tolerance: 0/1 words degrade gracefully; words beyond
+        # the two we understand belong to a future revision and are
+        # ignored.
+        if word_count >= 1:
+            trace_id = words[0]
+        if word_count >= 2:
+            parent_span = words[1]
+        if reader.remaining >= 8 or any(
+            c != "0" for c in body_bits[reader.position :]
+        ):
+            raise FrameCorrupted("nonzero or oversized body padding")
     return (
         Frame(
             kind=kind,
@@ -239,6 +304,8 @@ def decode_frame(buffer: bytes) -> Tuple[Frame, int]:
             round_index=round_index,
             coin_draws=coin_draws,
             payload=payload,
+            trace_id=trace_id,
+            parent_span=parent_span,
         ),
         total,
     )

@@ -35,11 +35,13 @@ every run as a last resort via :class:`~repro.net.errors.NetTimeoutError`.
 from __future__ import annotations
 
 import heapq
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import Protocol
 from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
 from ..obs.metrics import REGISTRY
+from ..obs.telemetry import get_telemetry
 from ..obs.trace import Tracer, get_tracer
 from .client import PartyClient, RetryPolicy
 from .errors import CrashedPartyError, FrameError, NetError, NetTimeoutError
@@ -86,10 +88,14 @@ class LoopbackRunner:
         self._max_steps = max_steps
         self._tracer = tracer if tracer is not None else get_tracer()
         self._injector = FaultInjector(faults) if faults is not None else None
-        self._server = BlackboardServer(protocol)
+        self._server = BlackboardServer(protocol, tracer=self._tracer)
         self._clients: List[Optional[PartyClient]] = [
             None for _ in range(protocol.num_players)
         ]
+        #: Open ``net_party`` span per live party (lifetimes interleave,
+        #: so these are begin_span/end_span spans, not stack spans).
+        self._party_spans: Dict[int, int] = {}
+        self._telemetry = get_telemetry()
         #: Current watchdog generation per party; a fired timer whose
         #: generation is older than this is stale and ignored.
         self._timer_generation: Dict[int, int] = {}
@@ -169,8 +175,14 @@ class LoopbackRunner:
         )
         self._clients[party] = client
         if self._tracer:
-            self._tracer.event("connect", party=party, transport="loopback")
-        self._send_all(_SERVER, client.connect())
+            span = self._tracer.begin_span(
+                "net_party", party=party, transport="loopback"
+            )
+            self._party_spans[party] = span
+            self._tracer.event_in(
+                span, "connect", party=party, transport="loopback"
+            )
+        self._send_all(_SERVER, client.connect(), origin=party)
         self._arm(party)
 
     def _arm(self, party: int) -> None:
@@ -200,10 +212,16 @@ class LoopbackRunner:
             self._reg.counter("net_faults_injected").inc(
                 fault="crash", transport="loopback"
             )
+        if self._telemetry:
+            self._telemetry.fault("crash")
         if self._tracer:
-            self._tracer.event(
-                "fault", fault="crash", party=party, restart=crash.restart
+            span = self._party_spans.pop(party, None)
+            self._tracer.event_in(
+                span, "fault", fault="crash", party=party,
+                restart=crash.restart,
             )
+            if span is not None:
+                self._tracer.end_span(span, crashed=True)
         if crash.restart:
             self._schedule(self._now + _RESTART_DELAY, "restart", (party,))
         else:
@@ -232,7 +250,7 @@ class LoopbackRunner:
         client = self._clients[dest]
         if client is None:
             return  # addressed to a crashed party: lost on the floor
-        self._send_all(_SERVER, client.on_frame(frame))
+        self._send_all(_SERVER, client.on_frame(frame), origin=dest)
         self._maybe_crash(dest)
         self._arm(dest)
 
@@ -243,11 +261,14 @@ class LoopbackRunner:
         if client is None or client.done:
             return
         frames = client.on_timeout()  # may raise RetriesExhaustedError
+        if self._telemetry:
+            self._telemetry.retry()
         if self._tracer:
-            self._tracer.event(
-                "retry", party=party, attempt=client.retries
+            self._tracer.event_in(
+                self._party_spans.get(party),
+                "retry", party=party, attempt=client.retries,
             )
-        self._send_all(_SERVER, frames)
+        self._send_all(_SERVER, frames, origin=party)
         self._arm(party)
 
     def _on_restart(self, party: int) -> None:
@@ -258,12 +279,28 @@ class LoopbackRunner:
     # ------------------------------------------------------------------
     # The wire.
     # ------------------------------------------------------------------
-    def _send_all(self, dest: int, frames: List[Frame]) -> None:
+    def _send_all(
+        self, dest: int, frames: List[Frame], origin: Optional[int] = None
+    ) -> None:
+        """Transmit ``frames``; when traced and ``origin`` names a party
+        with an open span, each frame is stamped with that span's
+        context so the server can attribute its work to the sender."""
+        stamp: Optional[int] = None
+        if self._tracer and origin is not None:
+            stamp = self._party_spans.get(origin)
         for frame in frames:
+            if stamp is not None:
+                frame = replace(
+                    frame,
+                    trace_id=self._tracer.trace_id,
+                    parent_span=stamp,
+                )
             self._transmit(dest, frame)
 
     def _transmit(self, dest: int, frame: Frame) -> None:
         wire = bytearray(encode_frame(frame))
+        if self._telemetry:
+            self._telemetry.bytes_on_wire(len(wire))
         reg = self._reg
         if reg is not None:
             reg.counter("net_frames_sent").inc(
@@ -286,6 +323,8 @@ class LoopbackRunner:
                     reg.counter("net_faults_injected").inc(
                         fault=fault, transport="loopback"
                     )
+                if self._telemetry:
+                    self._telemetry.fault(fault)
                 if self._tracer:
                     self._tracer.event(
                         "fault",
@@ -322,6 +361,9 @@ class LoopbackRunner:
                     f"determinism bug"
                 )
         if self._tracer:
+            for party in sorted(self._party_spans):
+                self._tracer.end_span(self._party_spans[party])
+            self._party_spans.clear()
             self._tracer.event(
                 "net_run_complete",
                 bits=board.bits_written,

@@ -27,16 +27,26 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.model import Message, Protocol, Transcript
+from ..obs.trace import NULL_TRACER, TraceContext, Tracer
 from .framing import Frame, FrameKind
 
 __all__ = ["BlackboardServer"]
 
 
 class BlackboardServer:
-    """Sans-io blackboard state machine for one protocol execution."""
+    """Sans-io blackboard state machine for one protocol execution.
 
-    def __init__(self, protocol: Protocol) -> None:
+    ``tracer``: when set, every inbound frame that carries a wire trace
+    context is handled inside a ``server_handle`` span parented under
+    the *sender's* span — the server's work is attributed to the
+    requesting party purely from wire bytes, across transports.
+    """
+
+    def __init__(
+        self, protocol: Protocol, *, tracer: Optional[Tracer] = None
+    ) -> None:
         self._protocol = protocol
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._state = protocol.initial_state()
         self._board = Transcript()
         #: The BROADCAST frame of every appended round, in order — the
@@ -77,6 +87,19 @@ class BlackboardServer:
     # ------------------------------------------------------------------
     def handle(self, frame: Frame) -> List[Tuple[int, Frame]]:
         """Process one inbound frame; returns the sends it causes."""
+        tracer = self._tracer
+        if tracer and frame.trace_id is not None:
+            with tracer.span(
+                "server_handle",
+                parent=TraceContext(frame.trace_id, frame.parent_span),
+                kind=frame.kind.name,
+                party=frame.party,
+                round=frame.round_index,
+            ):
+                return self._dispatch(frame)
+        return self._dispatch(frame)
+
+    def _dispatch(self, frame: Frame) -> List[Tuple[int, Frame]]:
         kind = frame.kind
         if kind == FrameKind.HELLO:
             return self._on_hello(frame)

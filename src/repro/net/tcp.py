@@ -23,6 +23,7 @@ read is bounded by ``PartyClient.timeout_hint()`` — a wedged run ends in
 from __future__ import annotations
 
 import asyncio
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.model import Protocol
@@ -107,7 +108,7 @@ async def _run_async(
     tracer: Tracer,
 ) -> ProtocolRun:
     reg = REGISTRY if REGISTRY.enabled else None
-    board_server = BlackboardServer(protocol)
+    board_server = BlackboardServer(protocol, tracer=tracer)
     lock = asyncio.Lock()
     writers: Dict[int, asyncio.StreamWriter] = {}
 
@@ -150,7 +151,7 @@ async def _run_async(
             # its retry budget turns this into a typed failure.
             return
 
-    async def party_task(party: int) -> PartyClient:
+    async def party_task(party: int, parent_span: Optional[int]) -> PartyClient:
         client = PartyClient(
             protocol,
             party,
@@ -160,12 +161,29 @@ async def _run_async(
             max_messages=max_messages,
         )
         reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        # Connection lifetimes interleave inside one event loop, so
+        # these are begin/end spans with an explicit parent — a
+        # stack-discipline span here would mis-nest under whichever
+        # coroutine happened to run last.
+        span: Optional[int] = None
         if tracer:
-            tracer.event("connect", party=party, transport="tcp")
+            span = tracer.begin_span(
+                "net_connection",
+                parent=parent_span,
+                party=party,
+                transport="tcp",
+            )
+            tracer.event_in(span, "connect", party=party, transport="tcp")
         decoder = FrameDecoder()
 
         async def send(frames: List[Frame]) -> None:
             for frame in frames:
+                if span is not None:
+                    frame = replace(
+                        frame,
+                        trace_id=tracer.trace_id,
+                        parent_span=span,
+                    )
                 wire = encode_frame(frame)
                 _count(frame, wire)
                 writer.write(wire)
@@ -194,7 +212,11 @@ async def _run_async(
                         break
         finally:
             if tracer:
-                tracer.event("disconnect", party=party, transport="tcp")
+                tracer.event_in(
+                    span, "disconnect", party=party, transport="tcp"
+                )
+                if span is not None:
+                    tracer.end_span(span)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -206,38 +228,28 @@ async def _run_async(
         handle_connection, "127.0.0.1", 0
     )
     port = tcp_server.sockets[0].getsockname()[1]
+    run_span: Optional[int] = None
+    if tracer:
+        run_span = tracer.begin_span(
+            "net_run",
+            transport="tcp",
+            protocol=type(protocol).__name__,
+            players=protocol.num_players,
+            port=port,
+        )
     try:
-        if tracer:
-            with tracer.span(
-                "net_run",
-                transport="tcp",
-                protocol=type(protocol).__name__,
-                players=protocol.num_players,
-                port=port,
-            ):
-                clients = await _gather_parties(
-                    protocol.num_players, party_task, tracer
-                )
-        else:
-            clients = await _gather_parties(
-                protocol.num_players, party_task, tracer
+        clients = await asyncio.gather(
+            *(
+                party_task(party, run_span)
+                for party in range(protocol.num_players)
             )
+        )
     finally:
+        if tracer and run_span is not None:
+            tracer.end_span(run_span)
         tcp_server.close()
         await tcp_server.wait_closed()
     return _assemble(board_server, clients)
-
-
-async def _gather_parties(num_players, party_task, tracer):
-    async def traced_party(party: int) -> PartyClient:
-        if tracer:
-            with tracer.span("net_connection", party=party, transport="tcp"):
-                return await party_task(party)
-        return await party_task(party)
-
-    return await asyncio.gather(
-        *(traced_party(party) for party in range(num_players))
-    )
 
 
 def _assemble(

@@ -26,9 +26,11 @@ from .trace import (
     NULL_TRACER,
     NullTracer,
     RecordingTracer,
+    TraceContext,
     TraceEvent,
     Tracer,
     get_tracer,
+    new_trace_id,
     read_trace,
     set_tracer,
     using_tracer,
@@ -46,10 +48,22 @@ from .metrics import (
     enable_metrics,
 )
 from .report import render_metrics, render_table
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetrySink,
+    ProgressRenderer,
+    TelemetrySink,
+    get_telemetry,
+    read_telemetry,
+    set_telemetry,
+    using_telemetry,
+)
 
 __all__ = [
     "Tracer",
+    "TraceContext",
     "TraceEvent",
+    "new_trace_id",
     "NullTracer",
     "NULL_TRACER",
     "RecordingTracer",
@@ -70,4 +84,12 @@ __all__ = [
     "disable_metrics",
     "render_metrics",
     "render_table",
+    "TelemetrySink",
+    "NullTelemetrySink",
+    "NULL_TELEMETRY",
+    "ProgressRenderer",
+    "read_telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "using_telemetry",
 ]

@@ -1,0 +1,313 @@
+"""Trace and profile analysis: span trees, critical paths, hotspots.
+
+The pure-computation half of ``python -m repro.obs``
+(:mod:`repro.obs.__main__` is the thin argument-parsing shell).  Input
+is the JSONL the other obs layers write — trace events
+(:class:`~repro.obs.trace.JsonlTracer`), profiler samples
+(:class:`~repro.obs.profile.SamplingProfiler`) — and every function
+here is side-effect free, so tests drive them directly on recorded
+events.
+
+A distributed trace arrives as a flat event list with parent span ids
+that may point across process boundaries (workers, the blackboard
+server).  :func:`build_span_forest` reassembles the tree; orphaned
+spans (a parent whose begin record was lost — e.g. a worker killed
+mid-ship) surface as extra roots rather than being dropped, so a
+damaged trace degrades to a readable forest instead of an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .report import render_table
+from .trace import TraceEvent
+
+__all__ = [
+    "SpanNode",
+    "build_span_forest",
+    "render_tree",
+    "critical_path",
+    "aggregate_spans",
+    "aggregate_profile",
+    "diff_aggregates",
+]
+
+#: Begin-record fields worth showing inline in a rendered tree.
+_TREE_FIELDS = (
+    "experiment",
+    "protocol",
+    "transport",
+    "party",
+    "index",
+    "kind",
+    "cells",
+    "hits",
+    "misses",
+    "tasks",
+    "workers",
+    "pid",
+)
+
+
+@dataclass
+class SpanNode:
+    """One span reassembled from its begin/end records."""
+
+    span_id: int
+    name: str
+    begin: TraceEvent
+    end: Optional[TraceEvent] = None
+    parent_id: Optional[int] = None
+    children: List["SpanNode"] = field(default_factory=list)
+    #: Point events attributed to this span, in file order.
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def elapsed_s(self) -> Optional[float]:
+        """Wall time, preferring the end record's ``elapsed_s`` field
+        (computed sender-side, immune to clock concerns)."""
+        if self.end is None:
+            return None
+        value = self.end.fields.get("elapsed_s")
+        if value is not None:
+            return float(value)
+        return self.end.ts - self.begin.ts
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_span_forest(
+    events: Sequence[TraceEvent], *, trace_id: Optional[int] = None
+) -> List[SpanNode]:
+    """Reassemble span records into root nodes (children ordered by
+    begin timestamp).  ``trace_id`` filters a multi-trace file; the
+    default keeps every trace (ids rarely collide)."""
+    nodes: Dict[int, SpanNode] = {}
+    order: List[SpanNode] = []
+    for event in events:
+        if trace_id is not None and event.trace not in (None, trace_id):
+            continue
+        if event.kind == "begin" and event.span is not None:
+            node = SpanNode(
+                span_id=event.span,
+                name=event.name,
+                begin=event,
+                parent_id=event.parent,
+            )
+            nodes[event.span] = node
+            order.append(node)
+        elif event.kind == "end" and event.span in nodes:
+            nodes[event.span].end = event
+        elif event.kind == "event" and event.span in nodes:
+            nodes[event.span].events.append(event)
+    roots: List[SpanNode] = []
+    for node in order:
+        parent = (
+            nodes.get(node.parent_id) if node.parent_id is not None else None
+        )
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.begin.ts)
+    roots.sort(key=lambda root: root.begin.ts)
+    return roots
+
+
+def _node_label(node: SpanNode) -> str:
+    details = [
+        f"{key}={node.begin.fields[key]}"
+        for key in _TREE_FIELDS
+        if key in node.begin.fields
+    ]
+    elapsed = node.elapsed_s
+    timing = f"{elapsed * 1e3:.2f} ms" if elapsed is not None else "open"
+    label = node.name
+    if details:
+        label += " [" + " ".join(details) + "]"
+    return f"{label}  ({timing})"
+
+
+def render_tree(
+    roots: Sequence[SpanNode],
+    *,
+    max_depth: Optional[int] = None,
+    show_events: bool = False,
+) -> str:
+    """Render a span forest as an indented tree with timings."""
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        lines.append("  " * depth + _node_label(node))
+        if show_events:
+            for event in node.events:
+                lines.append("  " * (depth + 1) + f". {event.name}")
+        if max_depth is not None and depth + 1 >= max_depth:
+            pruned = sum(1 for _ in node.walk()) - 1
+            if node.children:
+                lines.append(
+                    "  " * (depth + 1)
+                    + f"... {pruned} nested span(s) pruned"
+                )
+            return
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def critical_path(roots: Sequence[SpanNode]) -> List[SpanNode]:
+    """The heaviest root-to-leaf chain: from the slowest root, descend
+    into the slowest child at every level.  For a sweep trace this names
+    the one worker/connection/server chain that bounded wall time."""
+    if not roots:
+        return []
+
+    def weight(node: SpanNode) -> float:
+        elapsed = node.elapsed_s
+        return elapsed if elapsed is not None else 0.0
+
+    path: List[SpanNode] = []
+    node = max(roots, key=weight)
+    while True:
+        path.append(node)
+        if not node.children:
+            return path
+        node = max(node.children, key=weight)
+
+
+def render_critical_path(path: Sequence[SpanNode]) -> str:
+    """The critical path as a table: depth, span, elapsed, share of the
+    root's wall time."""
+    if not path:
+        return "(no spans)"
+    root_elapsed = path[0].elapsed_s or 0.0
+    rows = []
+    for depth, node in enumerate(path):
+        elapsed = node.elapsed_s
+        share = (
+            f"{100.0 * elapsed / root_elapsed:.1f}%"
+            if elapsed is not None and root_elapsed > 0
+            else "-"
+        )
+        rows.append(
+            (
+                depth,
+                node.name,
+                f"{elapsed * 1e3:.2f}" if elapsed is not None else "open",
+                share,
+            )
+        )
+    return render_table(
+        "critical path", ["depth", "span", "ms", "of root"], rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregation (`top`, `diff`).
+# ----------------------------------------------------------------------
+def aggregate_spans(
+    events: Sequence[TraceEvent],
+) -> Dict[str, Tuple[int, float]]:
+    """Per span name: ``(count, total elapsed seconds)`` over every
+    closed span in the trace."""
+    roots = build_span_forest(events)
+    totals: Dict[str, Tuple[int, float]] = {}
+    for root in roots:
+        for node in root.walk():
+            elapsed = node.elapsed_s
+            count, total = totals.get(node.name, (0, 0.0))
+            totals[node.name] = (
+                count + 1,
+                total + (elapsed if elapsed is not None else 0.0),
+            )
+    return totals
+
+
+def aggregate_profile(
+    samples: Sequence[Dict[str, Any]], *, by: str = "span"
+) -> Dict[str, Tuple[int, float]]:
+    """Per span-path (``by="span"``) or innermost-frame (``by="stack"``)
+    sample counts, as ``(count, share_of_samples)``."""
+    counts: Dict[str, int] = {}
+    for sample in samples:
+        if by == "span":
+            key = " > ".join(sample.get("spans") or ["(no span)"])
+        else:
+            stack = sample.get("stack") or []
+            key = stack[0] if stack else "(no repro frame)"
+        counts[key] = counts.get(key, 0) + 1
+    total = sum(counts.values()) or 1
+    return {
+        key: (count, count / total) for key, count in counts.items()
+    }
+
+
+def render_top(
+    totals: Dict[str, Tuple[int, float]], *, unit: str, limit: int = 20
+) -> str:
+    """Aggregates ranked by their second component (time or share)."""
+    ranked = sorted(
+        totals.items(), key=lambda item: (-item[1][1], item[0])
+    )[:limit]
+    if unit == "s":
+        rows = [
+            (name, count, f"{value * 1e3:.2f}")
+            for name, (count, value) in ranked
+        ]
+        return render_table("top spans", ["span", "count", "total ms"], rows)
+    rows = [
+        (name, count, f"{100.0 * value:.1f}%")
+        for name, (count, value) in ranked
+    ]
+    return render_table("top samples", ["where", "samples", "share"], rows)
+
+
+def diff_aggregates(
+    before: Dict[str, Tuple[int, float]],
+    after: Dict[str, Tuple[int, float]],
+) -> List[Tuple[str, int, int, float, float, Optional[float]]]:
+    """Row-per-key comparison of two aggregates: ``(key, count_a,
+    count_b, value_a, value_b, ratio)`` sorted by descending absolute
+    value change.  Keys present on one side only show with zeros."""
+    rows = []
+    for key in sorted(set(before) | set(after)):
+        count_a, value_a = before.get(key, (0, 0.0))
+        count_b, value_b = after.get(key, (0, 0.0))
+        ratio = value_b / value_a if value_a > 0 else None
+        rows.append((key, count_a, count_b, value_a, value_b, ratio))
+    rows.sort(key=lambda row: -abs(row[4] - row[3]))
+    return rows
+
+
+def render_diff(
+    rows: List[Tuple[str, int, int, float, float, Optional[float]]],
+    *,
+    unit: str = "s",
+) -> str:
+    scale = 1e3 if unit == "s" else 100.0
+    suffix = "ms" if unit == "s" else "%"
+    table_rows = []
+    for key, count_a, count_b, value_a, value_b, ratio in rows:
+        table_rows.append(
+            (
+                key,
+                f"{count_a}->{count_b}",
+                f"{value_a * scale:.2f}",
+                f"{value_b * scale:.2f}",
+                f"{ratio:.2f}x" if ratio is not None else "new",
+            )
+        )
+    return render_table(
+        "diff",
+        ["key", "count", f"a {suffix}", f"b {suffix}", "ratio"],
+        table_rows,
+    )

@@ -30,6 +30,8 @@ Metric naming used by the instrumented subsystems:
 ``message_bits`` (histogram)          per-message bit lengths
 ``tree_nodes_expanded``               exact-analyzer nodes popped
 ``tree_leaves``                       distinct transcripts enumerated
+``tree_memo_hits``                    batched-walk memo hits, by protocol
+``tree_memo_misses``                  batched-walk memo misses, by protocol
 ``tree_depth`` (histogram)            enumeration depth per call
 ``tree_support`` (histogram)          transcript-support size per call
 ``sampler_rounds``                    Lemma 7 rounds simulated, by path
@@ -41,6 +43,7 @@ Metric naming used by the instrumented subsystems:
 ``sampler_bits`` (histogram)          total bits per sampled message
 ``mc_trials``                         Monte-Carlo protocol executions
 ``mc_bootstrap_replicates``           bootstrap resamples computed
+``mc_bootstrap_seconds`` (gauge)      wall time of the last bootstrap
 ``check_cases``                       fuzz cases finished, by verdict
 ``check_oracle_runs``                 oracle checks, by oracle and verdict
 ``check_failures``                    failing oracle checks, by oracle
@@ -53,7 +56,13 @@ Metric naming used by the instrumented subsystems:
 ``store_bytes``                       payload bytes served/persisted, by
                                       direction (``read``/``write``)
 ``store_evictions``                   entries evicted by ``gc``
+``grid_tasks``                        sweep tasks submitted, by mode
+``grid_workers`` (gauge)              worker-pool size of the last sweep
+``experiment_seconds`` (gauge)        wall time per experiment (CLI)
 ====================================  =======================================
+
+(tests/obs/test_metrics_inventory.py scans ``src/`` and fails if a
+counter or gauge is emitted that this table does not document.)
 """
 
 from __future__ import annotations
@@ -232,6 +241,21 @@ class MetricsSnapshot:
         return not (self.counters or self.gauges or self.histograms)
 
 
+def _make_relabel(labels: Mapping[str, Any]):
+    """A key transformer adding ``labels`` to a :data:`LabelKey`; the
+    identity when ``labels`` is empty (the byte-identical fast path)."""
+    if not labels:
+        return lambda key: key
+    extra = {str(k): str(v) for k, v in labels.items()}
+
+    def relabel(key: LabelKey) -> LabelKey:
+        merged = dict(key)
+        merged.update(extra)
+        return tuple(sorted(merged.items()))
+
+    return relabel
+
+
 class MetricsRegistry:
     """A named collection of metrics.  ``enabled`` gates all mutation."""
 
@@ -274,7 +298,9 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
-    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+    def merge_snapshot(
+        self, snapshot: MetricsSnapshot, **labels: Any
+    ) -> None:
         """Fold a :class:`MetricsSnapshot` into this registry.
 
         Counters add, gauges take the snapshot's value (last write wins,
@@ -283,23 +309,33 @@ class MetricsRegistry:
         metrics collected by :func:`repro.perf.map_grid` flow back into
         the parent registry; merging is a no-op while the registry is
         disabled, matching every other mutation path.
+
+        Extra ``labels`` (e.g. ``worker="3"``) are applied to every
+        merged series, so merges from different sources stay
+        distinguishable — per-worker skew shows up in reports instead of
+        summing away.  On a label-name collision the merge label wins.
+        With no extra labels the merged output is byte-identical to a
+        plain merge.
         """
         if not self.enabled:
             return
+        relabel = _make_relabel(labels)
         for name, series in snapshot.counters.items():
             counter = self.counter(name)
             with self._lock:
                 for key, value in series.items():
+                    key = relabel(key)
                     counter.series[key] = counter.series.get(key, 0) + value
         for name, series in snapshot.gauges.items():
             gauge = self.gauge(name)
             with self._lock:
                 for key, value in series.items():
-                    gauge.series[key] = value
+                    gauge.series[relabel(key)] = value
         for name, series in snapshot.histograms.items():
             histogram = self.histogram(name)
             with self._lock:
                 for key, value in series.items():
+                    key = relabel(key)
                     state = histogram.series.get(key)
                     if state is None:
                         state = histogram.series[key] = HistogramValue()

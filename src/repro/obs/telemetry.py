@@ -1,0 +1,358 @@
+"""Sweep telemetry: aggregated progress counters + a live dashboard.
+
+Where :mod:`repro.obs.trace` records *everything* (one event per frame,
+per cell, per fault) and :mod:`repro.obs.metrics` aggregates process-
+wide counters, the telemetry sink sits in between: it aggregates the
+handful of numbers an operator watching a long sweep actually wants —
+cells done/total, cache hit rate, per-worker throughput, fault and
+retry counts, bytes on the wire, an ETA — and emits them two ways:
+
+* a **JSONL stream** of periodic snapshots (``--telemetry out.jsonl``),
+  one self-contained JSON object per line, schema documented in
+  ``docs/observability.md`` — the artifact CI uploads from smoke jobs;
+* a **live terminal line** (``--progress``), redrawn in place on
+  stderr by :class:`ProgressRenderer`.
+
+The sink is wired into :func:`repro.store.checkpointed_map_grid` (which
+owns the sweep: totals and cache hits), :func:`repro.perf.map_grid`
+(per-cell completions and per-worker attribution), and the
+:mod:`repro.net` loopback transport (faults, retries, wire bytes).
+Nesting is handled with a depth counter: ``checkpointed_map_grid``
+starts the sweep, the inner ``map_grid`` joins it rather than starting
+its own, and a bare ``map_grid`` call gets a sweep of its own.
+
+Like the tracer, the default sink is the falsy :data:`NULL_TELEMETRY`
+and every hook site guards with ``if telemetry:`` — zero overhead
+unless an operator asked to watch.  Install one process-wide with
+:func:`set_telemetry` / :func:`using_telemetry`.
+
+Telemetry never influences computation: it reads no RNG, feeds nothing
+back, and is flushed on wall-clock intervals only — traced/watched and
+silent runs are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, IO, Iterator, Optional, Union
+
+__all__ = [
+    "TelemetrySink",
+    "NullTelemetrySink",
+    "NULL_TELEMETRY",
+    "ProgressRenderer",
+    "read_telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "using_telemetry",
+]
+
+
+class ProgressRenderer:
+    """Redraws one status line in place (``\\r``, no newline) on a
+    stream — the ``--progress`` live dashboard.  The line is rebuilt
+    from a telemetry snapshot, so the renderer itself is stateless
+    beyond remembering how wide its last line was (to blank residue
+    when the line shrinks)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._last_width = 0
+
+    def render(self, snap: Dict[str, Any]) -> None:
+        total = snap.get("cells_total") or 0
+        done = snap.get("cells_done", 0)
+        parts = [str(snap.get("experiment") or "sweep")]
+        if total:
+            blocks = 20
+            filled = min(blocks, (done * blocks) // total)
+            bar = "#" * filled + "-" * (blocks - filled)
+            parts.append(f"[{bar}] {done}/{total} cells")
+        else:
+            parts.append(f"{done} cells")
+        probed = snap.get("hits", 0) + snap.get("misses", 0)
+        if probed:
+            rate = 100.0 * snap.get("hits", 0) / probed
+            parts.append(f"{rate:.0f}% hit")
+        faults = snap.get("faults") or {}
+        if faults:
+            parts.append(f"{sum(faults.values())} faults")
+        if snap.get("retries"):
+            parts.append(f"{snap['retries']} retries")
+        workers = snap.get("workers") or {}
+        elapsed = snap.get("elapsed_s") or 0.0
+        if workers and elapsed > 0:
+            parts.append(
+                f"{len(workers)} workers | {done / elapsed:.1f} cells/s"
+            )
+        eta = snap.get("eta_s")
+        if eta is not None:
+            parts.append(f"ETA {eta:.0f}s")
+        line = " | ".join(parts)
+        pad = max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        self._stream.write("\r" + line + " " * pad)
+        self._stream.flush()
+
+    def finish(self) -> None:
+        """Terminate the live line with a newline (end of sweep)."""
+        if self._last_width:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._last_width = 0
+
+
+class TelemetrySink:
+    """Aggregates sweep progress and periodically flushes snapshots.
+
+    Parameters
+    ----------
+    destination:
+        Path or text handle for the JSONL snapshot stream; ``None``
+        keeps snapshots in memory only (the live renderer may still
+        show them).
+    renderer:
+        A :class:`ProgressRenderer` redrawn on every flush.
+    interval_s:
+        Minimum wall-clock seconds between periodic flushes; the final
+        flush on :meth:`finish_sweep` always happens.
+    """
+
+    def __init__(
+        self,
+        destination: Union[str, IO[str], None] = None,
+        *,
+        renderer: Optional[ProgressRenderer] = None,
+        interval_s: float = 0.5,
+    ) -> None:
+        self._renderer = renderer
+        self._interval_s = interval_s
+        self._owns_handle = False
+        self._handle: Optional[IO[str]] = None
+        if isinstance(destination, str):
+            self._handle = open(destination, "w", encoding="utf-8")
+            self._owns_handle = True
+        elif destination is not None:
+            self._handle = destination
+        self._depth = 0
+        self._last_flush = float("-inf")
+        self._reset()
+
+    def _reset(self) -> None:
+        self.experiment: Optional[str] = None
+        self.cells_total = 0
+        self.cells_done = 0
+        self.hits = 0
+        self.misses = 0
+        self.recomputes = 0
+        self.retries = 0
+        self.wire_bytes = 0
+        self.faults: Dict[str, int] = {}
+        self.workers: Dict[str, Dict[str, float]] = {}
+        self._started = 0.0
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # Sweep lifecycle.
+    # ------------------------------------------------------------------
+    def start_sweep(
+        self, experiment: str, total: int, *, hits: int = 0
+    ) -> None:
+        """Begin (or join) a sweep.  The outermost caller owns the
+        sweep; nested calls (``map_grid`` under
+        ``checkpointed_map_grid``) join it without resetting."""
+        self._depth += 1
+        if self._depth > 1:
+            return
+        self._reset()
+        self.experiment = experiment
+        self.cells_total = total
+        self.hits = hits
+        self.cells_done = hits  # cache hits are already-done cells
+        self.misses = total - hits
+        self._started = time.perf_counter()
+        self.flush(force=True)
+
+    def finish_sweep(self) -> None:
+        """End the sweep started by the matching :meth:`start_sweep`;
+        the outermost end emits the final snapshot."""
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth == 0:
+            self.flush(force=True, final=True)
+            if self._renderer is not None:
+                self._renderer.finish()
+
+    # ------------------------------------------------------------------
+    # Hooks (called from instrumented code; all cheap).
+    # ------------------------------------------------------------------
+    def cell_done(
+        self,
+        *,
+        worker: Optional[str] = None,
+        elapsed_s: float = 0.0,
+        recomputed: bool = False,
+    ) -> None:
+        self.cells_done += 1
+        if recomputed:
+            self.recomputes += 1
+        if worker is not None:
+            entry = self.workers.setdefault(
+                worker, {"cells": 0, "busy_s": 0.0}
+            )
+            entry["cells"] += 1
+            entry["busy_s"] += elapsed_s
+        self.flush()
+
+    def fault(self, kind: str) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + 1
+        self.flush()
+
+    def retry(self) -> None:
+        self.retries += 1
+        self.flush()
+
+    def bytes_on_wire(self, count: int) -> None:
+        self.wire_bytes += count
+
+    # ------------------------------------------------------------------
+    # Output.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The current aggregate state as one JSON-ready record."""
+        elapsed = (
+            time.perf_counter() - self._started if self._started else 0.0
+        )
+        record: Dict[str, Any] = {
+            "experiment": self.experiment,
+            "cells_total": self.cells_total,
+            "cells_done": self.cells_done,
+            "hits": self.hits,
+            "misses": self.misses,
+            "recomputes": self.recomputes,
+            "retries": self.retries,
+            "bytes_on_wire": self.wire_bytes,
+            "faults": dict(sorted(self.faults.items())),
+            "workers": {k: dict(v) for k, v in sorted(self.workers.items())},
+            "elapsed_s": elapsed,
+        }
+        fresh_done = self.cells_done - self.hits
+        remaining = self.cells_total - self.cells_done
+        if fresh_done > 0 and remaining > 0 and elapsed > 0:
+            record["eta_s"] = elapsed / fresh_done * remaining
+        else:
+            record["eta_s"] = None
+        return record
+
+    def flush(self, *, force: bool = False, final: bool = False) -> None:
+        """Emit a snapshot if ``interval_s`` has elapsed (or ``force``)."""
+        now = time.perf_counter()
+        if not force and now - self._last_flush < self._interval_s:
+            return
+        self._last_flush = now
+        snap = self.snapshot()
+        if final:
+            snap["final"] = True
+        if self._handle is not None:
+            self._handle.write(json.dumps(snap, separators=(",", ":")))
+            self._handle.write("\n")
+            self._handle.flush()
+        if self._renderer is not None:
+            self._renderer.render(snap)
+
+    def close(self) -> None:
+        if self._owns_handle and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class NullTelemetrySink(TelemetrySink):
+    """Falsy do-nothing sink — the default, so hook sites guarded with
+    ``if telemetry:`` cost one truth test when nobody is watching."""
+
+    def __init__(self) -> None:
+        super().__init__(None)
+
+    def __bool__(self) -> bool:
+        return False
+
+    def start_sweep(self, experiment: str, total: int, *, hits: int = 0) -> None:
+        pass
+
+    def finish_sweep(self) -> None:
+        pass
+
+    def cell_done(self, **kwargs: Any) -> None:  # type: ignore[override]
+        pass
+
+    def fault(self, kind: str) -> None:
+        pass
+
+    def retry(self) -> None:
+        pass
+
+    def bytes_on_wire(self, count: int) -> None:
+        pass
+
+    def flush(self, *, force: bool = False, final: bool = False) -> None:
+        pass
+
+
+#: Shared falsy singleton.
+NULL_TELEMETRY = NullTelemetrySink()
+
+
+def read_telemetry(source: Union[str, IO[str]]) -> list:
+    """Load a JSONL telemetry stream back into snapshot dicts."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_telemetry(handle)
+    records = []
+    for line in source:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Process-wide default sink (mirrors the tracer idiom).
+# ----------------------------------------------------------------------
+_GLOBAL_TELEMETRY: TelemetrySink = NULL_TELEMETRY
+
+
+def get_telemetry() -> TelemetrySink:
+    """The process-wide telemetry sink (:data:`NULL_TELEMETRY` unless
+    one was installed)."""
+    return _GLOBAL_TELEMETRY
+
+
+def set_telemetry(sink: Optional[TelemetrySink]) -> TelemetrySink:
+    """Install ``sink`` process-wide; ``None`` restores the null sink.
+    Returns the previous sink."""
+    global _GLOBAL_TELEMETRY
+    previous = _GLOBAL_TELEMETRY
+    _GLOBAL_TELEMETRY = sink if sink is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def using_telemetry(sink: Optional[TelemetrySink]) -> Iterator[TelemetrySink]:
+    """Temporarily install a telemetry sink (restored on exit)."""
+    previous = set_telemetry(sink)
+    try:
+        yield get_telemetry()
+    finally:
+        set_telemetry(previous)

@@ -9,6 +9,27 @@ arXiv:1305.4696) accounts information per message and per round: every
 event names the speaker, the bits charged, and the round index, so a
 trace is a bit-level ledger of where communication went.
 
+Distributed context
+-------------------
+Every span belongs to a *trace* (a 63-bit ``trace_id``) and carries the
+id of its *parent* span, so a trace file — possibly assembled from
+several processes — reconstructs into one tree
+(``python -m repro.obs tree``).  A :class:`TraceContext` is the
+``(trace_id, span_id)`` pair that crosses process and wire boundaries:
+
+* :func:`repro.perf.map_grid` ships the coordinating sweep span's
+  context to worker processes, which trace into a child tracer
+  (namespaced so span ids cannot collide) and ship their events back;
+* :mod:`repro.net.framing` carries the sender's context in a
+  gamma-coded frame extension, so blackboard-server work is attributed
+  under the requesting party's span purely from wire bytes.
+
+Span ids are either small in-process sequence numbers (the root tracer)
+or SHA-256-derived 63-bit values namespaced per worker/party, which is
+what makes cross-process allocation collision-free without any
+coordination — and deterministic, so a re-run with the same trace id
+yields the same tree.
+
 Three tracers:
 
 * :class:`NullTracer` — the default.  It is *falsy*, and every
@@ -31,7 +52,9 @@ entire experiment without threading a tracer through every call site.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -42,21 +65,40 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Tuple,
     Union,
 )
 
 __all__ = [
+    "TraceContext",
     "TraceEvent",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
     "RecordingTracer",
     "JsonlTracer",
+    "new_trace_id",
     "read_trace",
     "get_tracer",
     "set_tracer",
     "using_tracer",
 ]
+
+
+def new_trace_id() -> int:
+    """A fresh 63-bit trace id (uniform, collision-free in practice)."""
+    return int.from_bytes(os.urandom(8), "big") >> 1
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of an enclosing span: what crosses process
+    boundaries (pickled to ``map_grid`` workers) and wire boundaries
+    (gamma-coded into ``repro.net`` frames).  ``span_id`` may be ``None``
+    for a trace with no span open yet."""
+
+    trace_id: int
+    span_id: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -65,9 +107,13 @@ class TraceEvent:
 
     ``kind`` is ``"event"`` for point events, ``"begin"``/``"end"`` for
     span boundaries.  ``span`` is the span id the record belongs to (its
-    own id for begin/end records).  ``ts`` is a monotonic timestamp in
-    seconds (``time.perf_counter``), suitable for intra-trace deltas
-    only.
+    own id for begin/end records).  ``trace`` is the 63-bit trace id the
+    record belongs to and ``parent`` (on ``begin`` records) is the id of
+    the enclosing span — possibly one opened in another process.  ``ts``
+    is a monotonic timestamp in seconds (``time.perf_counter``);  on
+    Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, shared by all
+    processes on the machine, so deltas are meaningful across a
+    multi-process trace too.
     """
 
     name: str
@@ -75,6 +121,8 @@ class TraceEvent:
     span: Optional[int] = None
     ts: float = 0.0
     fields: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[int] = None
+    parent: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -84,6 +132,10 @@ class TraceEvent:
         }
         if self.span is not None:
             record["span"] = self.span
+        if self.trace is not None:
+            record["trace"] = self.trace
+        if self.parent is not None:
+            record["parent"] = self.parent
         if self.fields:
             record["fields"] = self.fields
         return record
@@ -96,6 +148,8 @@ class TraceEvent:
             span=record.get("span"),
             ts=record.get("ts", 0.0),
             fields=dict(record.get("fields", {})),
+            trace=record.get("trace"),
+            parent=record.get("parent"),
         )
 
 
@@ -105,14 +159,79 @@ class Tracer:
     Subclasses override :meth:`emit`.  Real tracers are truthy; the
     :class:`NullTracer` is falsy, which is what lets hot paths skip all
     emission work with a bare ``if tracer:``.
+
+    Parameters
+    ----------
+    trace_id:
+        The 63-bit trace this tracer contributes to; defaults to a fresh
+        :func:`new_trace_id`.  Child tracers (worker processes) pass the
+        coordinator's id so all records land in one trace.
+    parent:
+        Span id a *remote* enclosing span — the parent of this tracer's
+        top-level spans.  ``None`` for a root tracer.
+    namespace:
+        Distinguishes span-id allocation across processes.  The root
+        tracer (empty namespace) hands out small sequence numbers;  a
+        namespaced tracer (``"task:3"``, ``"party:1"``) derives 63-bit
+        ids from ``SHA-256(trace_id, namespace, counter)``, so tracers
+        in different processes can never collide without coordination.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        trace_id: Optional[int] = None,
+        parent: Optional[int] = None,
+        namespace: str = "",
+    ) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        self._parent = parent
+        self._namespace = namespace
         self._next_span = 0
         self._span_stack: List[int] = []
+        self._span_names: List[str] = []
+        #: Spans started via :meth:`begin_span`: id -> (name, ts, trace).
+        self._open_spans: Dict[int, Tuple[str, float, int]] = {}
 
     def __bool__(self) -> bool:  # pragma: no cover - trivial
         return True
+
+    # ------------------------------------------------------------------
+    # Context.
+    # ------------------------------------------------------------------
+    def current_context(self) -> TraceContext:
+        """The context new remote work should parent under: the top of
+        the span stack, or this tracer's own remote parent."""
+        span = self._span_stack[-1] if self._span_stack else self._parent
+        return TraceContext(trace_id=self.trace_id, span_id=span)
+
+    def open_span_path(self) -> Tuple[str, ...]:
+        """Names of the (context-manager) spans currently open, outermost
+        first — what the sampling profiler attributes samples to."""
+        return tuple(self._span_names)
+
+    def _new_span_id(self) -> int:
+        index = self._next_span
+        self._next_span += 1
+        if not self._namespace:
+            return index
+        payload = f"repro.obs:{self.trace_id}:{self._namespace}:{index}"
+        digest = hashlib.sha256(payload.encode("ascii")).digest()
+        return int.from_bytes(digest[:8], "big") >> 1
+
+    def _resolve_parent(
+        self, parent: Union[TraceContext, int, None]
+    ) -> Tuple[Optional[int], int]:
+        """Normalize an explicit parent to ``(parent_span, trace_id)``;
+        ``None`` inherits the stack top (or this tracer's remote
+        parent)."""
+        if parent is None:
+            if self._span_stack:
+                return self._span_stack[-1], self.trace_id
+            return self._parent, self.trace_id
+        if isinstance(parent, TraceContext):
+            return parent.span_id, parent.trace_id
+        return parent, self.trace_id
 
     # ------------------------------------------------------------------
     def emit(self, event: TraceEvent) -> None:
@@ -128,19 +247,33 @@ class Tracer:
                 span=span,
                 ts=time.perf_counter(),
                 fields=fields,
+                trace=self.trace_id,
             )
         )
 
-    @contextmanager
-    def span(self, name: str, **fields: Any) -> Iterator[int]:
-        """A begin/end pair; the end record carries ``elapsed_s``.
+    def event_in(self, span_id: Optional[int], name: str, **fields: Any) -> None:
+        """Record a point event attributed to an explicit span — the tool
+        for interleaved spans opened with :meth:`begin_span`, where the
+        stack cannot know which logical span is active."""
+        self.emit(
+            TraceEvent(
+                name=name,
+                kind="event",
+                span=span_id,
+                ts=time.perf_counter(),
+                fields=fields,
+                trace=self.trace_id,
+            )
+        )
 
-        Extra fields may be attached to the end record by mutating the
-        dict returned by :meth:`span_fields` — or more simply by emitting
-        events inside the span.
-        """
-        span_id = self._next_span
-        self._next_span += 1
+    def _emit_begin(
+        self,
+        name: str,
+        parent: Union[TraceContext, int, None],
+        fields: Dict[str, Any],
+    ) -> Tuple[int, float, int]:
+        span_id = self._new_span_id()
+        parent_span, trace_id = self._resolve_parent(parent)
         started = time.perf_counter()
         self.emit(
             TraceEvent(
@@ -149,23 +282,83 @@ class Tracer:
                 span=span_id,
                 ts=started,
                 fields=fields,
+                trace=trace_id,
+                parent=parent_span,
             )
         )
+        return span_id, started, trace_id
+
+    def _emit_end(
+        self,
+        span_id: int,
+        name: str,
+        started: float,
+        trace_id: int,
+        fields: Dict[str, Any],
+    ) -> None:
+        ended = time.perf_counter()
+        end_fields = {"elapsed_s": ended - started}
+        end_fields.update(fields)
+        self.emit(
+            TraceEvent(
+                name=name,
+                kind="end",
+                span=span_id,
+                ts=ended,
+                fields=end_fields,
+                trace=trace_id,
+            )
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Union[TraceContext, int, None] = None,
+        **fields: Any,
+    ) -> Iterator[int]:
+        """A begin/end pair; the end record carries ``elapsed_s``.
+
+        The begin record's ``parent`` is the enclosing span (stack
+        discipline), or the explicit ``parent`` — a span id or a
+        :class:`TraceContext` that may have crossed a process or wire
+        boundary.  Events emitted inside attribute to this span.
+        """
+        span_id, started, trace_id = self._emit_begin(name, parent, fields)
         self._span_stack.append(span_id)
+        self._span_names.append(name)
         try:
             yield span_id
         finally:
             self._span_stack.pop()
-            ended = time.perf_counter()
-            self.emit(
-                TraceEvent(
-                    name=name,
-                    kind="end",
-                    span=span_id,
-                    ts=ended,
-                    fields={"elapsed_s": ended - started},
-                )
-            )
+            self._span_names.pop()
+            self._emit_end(span_id, name, started, trace_id, {})
+
+    # ------------------------------------------------------------------
+    # Interleaved (non-nesting) spans.
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        name: str,
+        parent: Union[TraceContext, int, None] = None,
+        **fields: Any,
+    ) -> int:
+        """Open a span *without* stack discipline — for lifetimes that
+        interleave (concurrent party endpoints inside one event loop).
+        Close it with :meth:`end_span`; attribute events to it with
+        :meth:`event_in`."""
+        span_id, started, trace_id = self._emit_begin(name, parent, fields)
+        self._open_spans[span_id] = (name, started, trace_id)
+        return span_id
+
+    def end_span(self, span_id: int, **fields: Any) -> None:
+        """Close a span opened with :meth:`begin_span`; idempotent for
+        already-closed ids (crash paths may race completion)."""
+        entry = self._open_spans.pop(span_id, None)
+        if entry is None:
+            return
+        name, started, trace_id = entry
+        self._emit_end(span_id, name, started, trace_id, fields)
 
     def close(self) -> None:
         """Release any resources (file handles); idempotent."""
@@ -182,6 +375,9 @@ class NullTracer(Tracer):
     the entire emission path away; its methods are no-ops regardless, so
     passing it explicitly is also safe."""
 
+    def __init__(self) -> None:
+        super().__init__(trace_id=0)
+
     def __bool__(self) -> bool:
         return False
 
@@ -191,9 +387,34 @@ class NullTracer(Tracer):
     def event(self, name: str, **fields: Any) -> None:
         pass
 
+    def event_in(self, span_id: Optional[int], name: str, **fields: Any) -> None:
+        pass
+
     @contextmanager
-    def span(self, name: str, **fields: Any) -> Iterator[int]:
+    def span(
+        self,
+        name: str,
+        parent: Union[TraceContext, int, None] = None,
+        **fields: Any,
+    ) -> Iterator[int]:
         yield -1
+
+    def begin_span(
+        self,
+        name: str,
+        parent: Union[TraceContext, int, None] = None,
+        **fields: Any,
+    ) -> int:
+        return -1
+
+    def end_span(self, span_id: int, **fields: Any) -> None:
+        pass
+
+    def current_context(self) -> Optional[TraceContext]:  # type: ignore[override]
+        return None
+
+    def open_span_path(self) -> Tuple[str, ...]:
+        return ()
 
 
 #: Shared singleton; there is never a reason to construct more.
@@ -203,8 +424,14 @@ NULL_TRACER = NullTracer()
 class RecordingTracer(Tracer):
     """Keeps every event in memory (``.events``)."""
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        *,
+        trace_id: Optional[int] = None,
+        parent: Optional[int] = None,
+        namespace: str = "",
+    ) -> None:
+        super().__init__(trace_id=trace_id, parent=parent, namespace=namespace)
         self.events: List[TraceEvent] = []
 
     def emit(self, event: TraceEvent) -> None:
@@ -233,8 +460,15 @@ def _jsonable(value: Any) -> Any:
 class JsonlTracer(Tracer):
     """Streams events to a JSONL file (one JSON object per line)."""
 
-    def __init__(self, destination: Union[str, IO[str]]) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        destination: Union[str, IO[str]],
+        *,
+        trace_id: Optional[int] = None,
+        parent: Optional[int] = None,
+        namespace: str = "",
+    ) -> None:
+        super().__init__(trace_id=trace_id, parent=parent, namespace=namespace)
         if isinstance(destination, str):
             self._handle: IO[str] = open(destination, "w", encoding="utf-8")
             self._owns_handle = True

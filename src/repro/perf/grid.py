@@ -18,21 +18,37 @@ Design constraints, in order:
 
 Tasks must be picklable (module-level functions or
 ``functools.partial`` over them) because worker processes import them by
-reference.  Tracers are process-local and deliberately not shipped to
-workers; the parent emits one ``map_grid`` span with per-task
-``grid_task_done`` events, which keeps traces proportional to the number
-of tasks.
+reference.  Tracer *objects* are process-local and not shipped to
+workers — what crosses the boundary is the coordinating span's
+:class:`~repro.obs.trace.TraceContext`.  Each worker traces into a
+fresh :class:`~repro.obs.trace.RecordingTracer` namespaced by its task
+index (span ids are hash-derived, so workers can never collide), runs
+the task under a ``grid_task`` span parented to the coordinator's
+``map_grid`` span, and ships its events back with the result; the
+parent re-emits them in submission order.  One networked sweep
+therefore yields one trace tree spanning coordinator, workers, server,
+and parties.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.metrics import REGISTRY, MetricsSnapshot, enable_metrics
-from ..obs.trace import Tracer, get_tracer
+from ..obs.telemetry import TelemetrySink, get_telemetry, using_telemetry
+from ..obs.trace import (
+    RecordingTracer,
+    TraceContext,
+    TraceEvent,
+    Tracer,
+    _jsonable,
+    get_tracer,
+    using_tracer,
+)
 
 __all__ = ["derive_seed", "map_grid", "resolve_workers"]
 
@@ -66,17 +82,80 @@ def _execute_task(
     item: Any,
     seed: Optional[int],
     collect_metrics: bool,
-) -> Tuple[int, Any, Optional[MetricsSnapshot]]:
+    trace_ctx: Optional[TraceContext] = None,
+    collect_telemetry: bool = False,
+) -> Tuple[
+    int,
+    Any,
+    Optional[MetricsSnapshot],
+    List[Dict[str, Any]],
+    int,
+    float,
+    Optional[Dict[str, Any]],
+]:
     """Worker-side wrapper: run one task, optionally under a fresh
-    metrics registry, and tag the result with its submission index."""
+    metrics registry and a child tracer, and tag the result with its
+    submission index.
+
+    Returns ``(index, result, snapshot, events, pid, elapsed_s,
+    telemetry)`` — ``events`` are the worker's trace records
+    (JSON-degraded so the tuple pickles), parented under ``trace_ctx``;
+    ``telemetry`` carries the fault/retry/byte counts the worker's
+    in-task code reported, for the parent's dashboard.
+    """
     if collect_metrics:
         # The worker inherited a copy of the parent registry (fork) or a
         # blank one (spawn); either way, start from a clean slate so the
         # returned snapshot contains exactly this task's series.
         enable_metrics(reset=True)
-    result = fn(item) if seed is None else fn(item, seed)
+    worker_sink = TelemetrySink(None) if collect_telemetry else None
+    started = time.perf_counter()
+    events: List[Dict[str, Any]] = []
+    with using_telemetry(worker_sink):
+        if trace_ctx is not None:
+            # Namespaced per task index: hash-derived span ids, so
+            # workers allocate concurrently without coordination or
+            # collisions.
+            worker_tracer = RecordingTracer(
+                trace_id=trace_ctx.trace_id,
+                parent=trace_ctx.span_id,
+                namespace=f"task:{index}",
+            )
+            with using_tracer(worker_tracer):
+                with worker_tracer.span(
+                    "grid_task", index=index, pid=os.getpid()
+                ):
+                    result = fn(item) if seed is None else fn(item, seed)
+            events = [
+                _degrade_event(event) for event in worker_tracer.events
+            ]
+        else:
+            result = fn(item) if seed is None else fn(item, seed)
+    elapsed = time.perf_counter() - started
     snapshot = REGISTRY.snapshot() if collect_metrics else None
-    return index, result, snapshot
+    telemetry_summary: Optional[Dict[str, Any]] = None
+    if worker_sink is not None:
+        telemetry_summary = {
+            "faults": dict(worker_sink.faults),
+            "retries": worker_sink.retries,
+            "bytes_on_wire": worker_sink.wire_bytes,
+        }
+    return (
+        index, result, snapshot, events, os.getpid(), elapsed,
+        telemetry_summary,
+    )
+
+
+def _degrade_event(event: TraceEvent) -> Dict[str, Any]:
+    """A pickle-safe, JSON-ready form of a worker trace record (rich
+    field values degrade exactly as :class:`JsonlTracer` would write
+    them, so shipping through a worker never changes the trace file)."""
+    record = event.to_dict()
+    if "fields" in record:
+        record["fields"] = {
+            key: _jsonable(value) for key, value in record["fields"].items()
+        }
+    return record
 
 
 def map_grid(
@@ -87,6 +166,7 @@ def map_grid(
     base_seed: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
+    label_workers: bool = False,
 ) -> List[Any]:
     """Evaluate ``fn`` over ``items``, optionally across processes.
 
@@ -112,6 +192,12 @@ def map_grid(
         :mod:`repro.store.sweep`: a crash mid-sweep loses at most the
         not-yet-resolved suffix, because every delivered result was
         already handed to the callback.
+    label_workers:
+        When true (and metrics are collecting), each worker's returned
+        metrics snapshot is merged under an extra ``worker="N"`` label
+        (dense first-seen index, not pid) so per-worker skew is visible
+        in reports.  Off by default: unlabeled merges are byte-identical
+        to the pre-label format.
 
     Returns
     -------
@@ -133,41 +219,111 @@ def map_grid(
         reg.counter("grid_tasks").inc(len(items), mode=mode)
         reg.gauge("grid_workers").set(count)
 
-    if mode == "serial":
-        results: List[Any] = []
-        with tracer.span("map_grid", tasks=len(items), workers=1):
-            for index, item in enumerate(items):
-                seed = seeds[index]
-                results.append(fn(item) if seed is None else fn(item, seed))
-                if on_result is not None:
-                    on_result(index, results[-1])
-                if tracer:
-                    tracer.event("grid_task_done", index=index)
-        return results
+    telemetry = get_telemetry()
+    if telemetry:
+        telemetry.start_sweep("map_grid", len(items))
 
-    collect_metrics = reg is not None
-    ordered: List[Any] = [None] * len(items)
-    snapshots: List[Optional[MetricsSnapshot]] = [None] * len(items)
-    with tracer.span("map_grid", tasks=len(items), workers=count):
-        with ProcessPoolExecutor(max_workers=count) as executor:
-            futures = [
-                executor.submit(
-                    _execute_task, fn, index, item, seeds[index], collect_metrics
-                )
-                for index, item in enumerate(items)
-            ]
-            # Resolve in submission order: result ordering — and which
-            # task's exception surfaces first — is then deterministic.
-            for future in futures:
-                index, result, snapshot = future.result()
-                ordered[index] = result
-                snapshots[index] = snapshot
-                if on_result is not None:
-                    on_result(index, result)
-                if tracer:
-                    tracer.event("grid_task_done", index=index)
-    if reg is not None:
-        for snapshot in snapshots:
-            if snapshot is not None and not snapshot.empty:
-                reg.merge_snapshot(snapshot)
-    return ordered
+    try:
+        if mode == "serial":
+            results: List[Any] = []
+            with tracer.span("map_grid", tasks=len(items), workers=1):
+                for index, item in enumerate(items):
+                    seed = seeds[index]
+                    started = time.perf_counter()
+                    if tracer:
+                        with tracer.span("grid_task", index=index):
+                            result = (
+                                fn(item) if seed is None else fn(item, seed)
+                            )
+                    else:
+                        result = fn(item) if seed is None else fn(item, seed)
+                    results.append(result)
+                    if on_result is not None:
+                        on_result(index, results[-1])
+                    if tracer:
+                        tracer.event("grid_task_done", index=index)
+                    if telemetry:
+                        telemetry.cell_done(
+                            worker="0",
+                            elapsed_s=time.perf_counter() - started,
+                            recomputed=True,
+                        )
+            return results
+
+        collect_metrics = reg is not None
+        ordered: List[Any] = [None] * len(items)
+        snapshots: List[Optional[MetricsSnapshot]] = [None] * len(items)
+        worker_ids: List[Optional[int]] = [None] * len(items)
+        with tracer.span("map_grid", tasks=len(items), workers=count):
+            trace_ctx = tracer.current_context() if tracer else None
+            with ProcessPoolExecutor(max_workers=count) as executor:
+                futures = [
+                    executor.submit(
+                        _execute_task,
+                        fn,
+                        index,
+                        item,
+                        seeds[index],
+                        collect_metrics,
+                        trace_ctx,
+                        bool(telemetry),
+                    )
+                    for index, item in enumerate(items)
+                ]
+                # Resolve in submission order: result ordering — and
+                # which task's exception surfaces first — is then
+                # deterministic.
+                for future in futures:
+                    (
+                        index, result, snapshot, events, pid, elapsed,
+                        task_telemetry,
+                    ) = future.result()
+                    ordered[index] = result
+                    snapshots[index] = snapshot
+                    worker_ids[index] = pid
+                    if on_result is not None:
+                        on_result(index, result)
+                    if tracer:
+                        # Replay the worker's records into the parent's
+                        # sink; submission order keeps the trace file
+                        # deterministic in structure.
+                        for record in events:
+                            tracer.emit(TraceEvent.from_dict(record))
+                        tracer.event("grid_task_done", index=index)
+                    if telemetry:
+                        if task_telemetry is not None:
+                            for kind, count in task_telemetry[
+                                "faults"
+                            ].items():
+                                telemetry.faults[kind] = (
+                                    telemetry.faults.get(kind, 0) + count
+                                )
+                            telemetry.retries += task_telemetry["retries"]
+                            telemetry.wire_bytes += task_telemetry[
+                                "bytes_on_wire"
+                            ]
+                        telemetry.cell_done(
+                            worker=str(pid),
+                            elapsed_s=elapsed,
+                            recomputed=True,
+                        )
+        if reg is not None:
+            # Dense first-seen worker indices: label values must not
+            # leak pids (they vary run to run) into reports.
+            dense: Dict[int, int] = {}
+            for pid in worker_ids:
+                if pid is not None and pid not in dense:
+                    dense[pid] = len(dense)
+            for index, snapshot in enumerate(snapshots):
+                if snapshot is not None and not snapshot.empty:
+                    if label_workers:
+                        reg.merge_snapshot(
+                            snapshot,
+                            worker=str(dense[worker_ids[index]]),
+                        )
+                    else:
+                        reg.merge_snapshot(snapshot)
+        return ordered
+    finally:
+        if telemetry:
+            telemetry.finish_sweep()

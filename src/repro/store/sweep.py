@@ -33,6 +33,7 @@ import functools
 import json
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs.telemetry import get_telemetry
 from ..obs.trace import get_tracer
 from ..perf.grid import derive_seed, map_grid
 from .keys import ResultKey, canonical_json
@@ -137,25 +138,37 @@ def checkpointed_map_grid(
             results[index] = decode_result(payload)
 
     tracer = get_tracer()
-    with tracer.span(
-        "checkpointed_sweep",
-        experiment=experiment,
-        cells=len(items),
-        hits=len(items) - len(missing),
-        misses=len(missing),
-    ):
-        if missing:
+    telemetry = get_telemetry()
+    if telemetry:
+        # The sweep owner: the inner map_grid joins this sweep (depth
+        # counter) instead of starting one of its own, so the dashboard
+        # shows grid totals and cache hits, not just the missing cells.
+        telemetry.start_sweep(
+            experiment, len(items), hits=len(items) - len(missing)
+        )
+    try:
+        with tracer.span(
+            "checkpointed_sweep",
+            experiment=experiment,
+            cells=len(items),
+            hits=len(items) - len(missing),
+            misses=len(missing),
+        ):
+            if missing:
 
-            def checkpoint(position: int, result: Any) -> None:
-                index = missing[position]
-                store.put(keys[index], encode_result(result))
-                results[index] = result
+                def checkpoint(position: int, result: Any) -> None:
+                    index = missing[position]
+                    store.put(keys[index], encode_result(result))
+                    results[index] = result
 
-            map_grid(
-                functools.partial(_call_cell, fn=fn),
-                [(items[index], seeds[index]) for index in missing],
-                workers=workers,
-                base_seed=None,  # seeds pre-derived from the full grid
-                on_result=checkpoint,
-            )
+                map_grid(
+                    functools.partial(_call_cell, fn=fn),
+                    [(items[index], seeds[index]) for index in missing],
+                    workers=workers,
+                    base_seed=None,  # seeds pre-derived from the full grid
+                    on_result=checkpoint,
+                )
+    finally:
+        if telemetry:
+            telemetry.finish_sweep()
     return results

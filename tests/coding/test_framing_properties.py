@@ -39,12 +39,23 @@ def _random_frame(rng) -> Frame:
     if kind in (FrameKind.APPEND, FrameKind.BROADCAST):
         payload = "".join(rng.choice("01") for _ in range(rng.randrange(1, 40)))
         draws = rng.randrange(2)
+    # Half of the sweep carries a trace-context extension, so every
+    # property below (round-trip, chunked streams, truncation, bit-flip
+    # rejection) also covers the extended wire format.
+    trace_id = None
+    parent_span = None
+    if rng.randrange(2):
+        trace_id = rng.randrange(0, 2**63)
+        if rng.randrange(2):
+            parent_span = rng.randrange(0, 2**63)
     return Frame(
         kind=kind,
         party=rng.randrange(0, 64),
         round_index=rng.randrange(0, 4096),
         coin_draws=draws,
         payload=payload,
+        trace_id=trace_id,
+        parent_span=parent_span,
     )
 
 

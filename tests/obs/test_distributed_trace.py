@@ -1,0 +1,173 @@
+"""Acceptance: one fault-injected networked parallel sweep = one trace
+tree.
+
+The tentpole contract of distributed tracing (docs/observability.md):
+run an E1 grid slice over the loopback transport with injected faults
+and worker processes, and the resulting trace must reassemble into a
+*single* tree — every worker ``grid_task``, every ``net_party``, every
+``server_handle`` span reachable from the root sweep span by walking
+parent ids, all under one trace id.  The analysis CLI's four
+subcommands must all run against the capture.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.e1_disjointness_scaling import run as run_e1
+from repro.obs import JsonlTracer, read_trace, using_tracer
+from repro.obs.__main__ import main as obs_main
+from repro.obs.analysis import build_span_forest, critical_path
+
+#: Small slice of the E1 grid: enough for real traffic, fast enough
+#: for the suite.
+GRID = ((64, 4), (64, 8), (256, 4))
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """One traced, fault-injected, two-worker loopback E1 sweep."""
+    path = tmp_path_factory.mktemp("trace") / "e1.jsonl"
+    tracer = JsonlTracer(str(path))
+    with using_tracer(tracer):
+        table = run_e1(
+            grid=GRID,
+            check_random_instances=False,
+            workers=2,
+            transport="loopback",
+            fault_seed=7,
+        )
+    tracer.close()
+    assert "64" in table.render()
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def events(trace_file):
+    return read_trace(trace_file)
+
+
+class TestSingleTraceTree:
+    def test_exactly_one_root(self, events):
+        roots = build_span_forest(events)
+        assert len(roots) == 1, (
+            f"expected one coherent tree, got roots "
+            f"{[root.name for root in roots]}"
+        )
+        assert roots[0].name == "map_grid"
+
+    def test_single_trace_id(self, events):
+        ids = {e.trace for e in events if e.trace is not None}
+        assert len(ids) == 1
+        assert not any(e.trace is None for e in events if e.span)
+
+    def test_every_span_reachable_from_root_by_parent_ids(self, events):
+        begins = {
+            e.span: e for e in events if e.kind == "begin"
+        }
+        roots = build_span_forest(events)
+        root_id = roots[0].span_id
+        for span_id, begin in begins.items():
+            # Walk parent ids to the root by hand — independently of
+            # build_span_forest's reassembly.
+            seen = set()
+            current = span_id
+            while current != root_id:
+                assert current not in seen, f"parent cycle at {current}"
+                seen.add(current)
+                parent = begins[current].parent
+                assert parent is not None, (
+                    f"span {begin.name} ({current}) is an orphan"
+                )
+                assert parent in begins, (
+                    f"span {begin.name} has unknown parent {parent}"
+                )
+                current = parent
+
+    def test_all_layers_present(self, events):
+        names = {e.name for e in events if e.kind == "begin"}
+        # coordinator, worker, networked runtime, party, server layers:
+        assert {
+            "map_grid",
+            "grid_task",
+            "net_run",
+            "net_party",
+            "server_handle",
+        } <= names
+
+    def test_workers_and_faults_really_participated(self, events):
+        pids = {
+            e.fields["pid"]
+            for e in events
+            if e.kind == "begin" and e.name == "grid_task"
+        }
+        assert len(pids) >= 2, "sweep did not span worker processes"
+        faults = [e for e in events if e.name == "fault"]
+        assert faults, "fault plan injected nothing"
+
+    def test_server_spans_parented_to_party_spans(self, events):
+        begins = {e.span: e for e in events if e.kind == "begin"}
+        handled = [
+            e
+            for e in events
+            if e.kind == "begin" and e.name == "server_handle"
+        ]
+        assert handled
+        for begin in handled:
+            parent = begins[begin.parent]
+            assert parent.name in ("net_party", "net_connection")
+
+    def test_critical_path_descends_to_a_leaf(self, events):
+        path = critical_path(build_span_forest(events))
+        assert path[0].name == "map_grid"
+        assert len(path) >= 3
+
+
+class TestAnalysisCli:
+    def test_tree(self, trace_file, capsys):
+        assert obs_main(["tree", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "map_grid" in out and "server_handle" in out
+
+    def test_tree_max_depth_prunes(self, trace_file, capsys):
+        assert obs_main(["tree", trace_file, "--max-depth", "2"]) == 0
+        assert "pruned" in capsys.readouterr().out
+
+    def test_critical_path(self, trace_file, capsys):
+        assert obs_main(["critical-path", trace_file]) == 0
+        assert "of root" in capsys.readouterr().out
+
+    def test_top(self, trace_file, capsys):
+        assert obs_main(["top", trace_file]) == 0
+        assert "total ms" in capsys.readouterr().out
+
+    def test_diff_against_itself(self, trace_file, capsys):
+        assert obs_main(["diff", trace_file, trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "1.00x" in out
+
+    def test_kind_autodetection(self, trace_file):
+        first = json.loads(open(trace_file).readline())
+        assert "name" in first and "kind" in first
+
+
+class TestTracedSweepIsByteIdentical:
+    def test_table_matches_untraced_serial_memory_run(
+        self, trace_file, tmp_path
+    ):
+        # The traced, faulted, parallel, networked table must be
+        # byte-identical to the plain serial in-memory one.
+        reference = run_e1(
+            grid=GRID, check_random_instances=False
+        ).render()
+        tracer = JsonlTracer(str(tmp_path / "t2.jsonl"))
+        with using_tracer(tracer):
+            observed = run_e1(
+                grid=GRID,
+                check_random_instances=False,
+                workers=2,
+                transport="loopback",
+                fault_seed=7,
+            ).render()
+        tracer.close()
+        assert observed == reference

@@ -1,0 +1,324 @@
+"""Telemetry sink, live renderer, profiler, and analysis units.
+
+Complements ``test_distributed_trace.py`` (the end-to-end acceptance):
+these drive each piece directly on synthetic data — sink aggregation
+and nesting, the single-line renderer, JSONL round-trips, profiler
+sampling, span-forest reassembly, and the ``merge_snapshot`` label
+extension the per-worker attribution rides on.
+"""
+
+import io
+import json
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    ProgressRenderer,
+    RecordingTracer,
+    TelemetrySink,
+    get_telemetry,
+    read_telemetry,
+    using_telemetry,
+    using_tracer,
+)
+from repro.obs.analysis import (
+    aggregate_profile,
+    aggregate_spans,
+    build_span_forest,
+    critical_path,
+    diff_aggregates,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler, read_profile
+from repro.perf import map_grid
+from tests.perf.test_map_grid import square  # picklable module-level task
+
+
+class TestTelemetrySink:
+    def test_null_sink_is_falsy_and_inert(self):
+        assert not NULL_TELEMETRY
+        NULL_TELEMETRY.start_sweep("x", 5)
+        NULL_TELEMETRY.cell_done()
+        NULL_TELEMETRY.fault("drop")
+        NULL_TELEMETRY.finish_sweep()
+        assert NULL_TELEMETRY.snapshot()["cells_done"] == 0
+
+    def test_aggregation_and_final_snapshot(self):
+        out = io.StringIO()
+        sink = TelemetrySink(out, interval_s=0.0)
+        sink.start_sweep("E1", 4, hits=1)
+        sink.cell_done(worker="0", elapsed_s=0.5, recomputed=True)
+        sink.cell_done(worker="1", elapsed_s=0.25, recomputed=True)
+        sink.fault("drop")
+        sink.fault("drop")
+        sink.retry()
+        sink.bytes_on_wire(100)
+        sink.finish_sweep()
+        records = read_telemetry(io.StringIO(out.getvalue()))
+        final = records[-1]
+        assert final["final"] is True
+        assert final["experiment"] == "E1"
+        assert final["cells_total"] == 4
+        assert final["cells_done"] == 3  # 1 hit + 2 recomputes
+        assert final["hits"] == 1 and final["recomputes"] == 2
+        assert final["faults"] == {"drop": 2}
+        assert final["retries"] == 1
+        assert final["bytes_on_wire"] == 100
+        assert final["workers"]["0"]["cells"] == 1
+        assert final["workers"]["1"]["busy_s"] == 0.25
+        assert final["eta_s"] is not None  # one fresh cell remaining
+
+    def test_nested_sweeps_join_the_outermost(self):
+        sink = TelemetrySink(None, interval_s=0.0)
+        sink.start_sweep("outer", 10, hits=4)
+        sink.start_sweep("inner", 6)  # joins; must not reset
+        sink.cell_done()
+        sink.finish_sweep()
+        assert sink.experiment == "outer"
+        assert sink.cells_total == 10
+        assert sink.cells_done == 5
+        sink.finish_sweep()
+
+    def test_interval_throttles_but_final_always_flushes(self):
+        out = io.StringIO()
+        sink = TelemetrySink(out, interval_s=3600.0)
+        sink.start_sweep("E1", 100)
+        for _ in range(50):
+            sink.cell_done()
+        sink.finish_sweep()
+        records = read_telemetry(io.StringIO(out.getvalue()))
+        # The start flush and the final flush; nothing in between.
+        assert len(records) == 2
+        assert records[-1]["final"] and records[-1]["cells_done"] == 50
+
+    def test_using_telemetry_scopes_the_global(self):
+        sink = TelemetrySink(None)
+        assert get_telemetry() is NULL_TELEMETRY
+        with using_telemetry(sink):
+            assert get_telemetry() is sink
+        assert get_telemetry() is NULL_TELEMETRY
+
+
+class TestProgressRenderer:
+    def _line(self, snap):
+        out = io.StringIO()
+        renderer = ProgressRenderer(out)
+        renderer.render(snap)
+        return out.getvalue()
+
+    def test_renders_bar_and_counts(self):
+        sink = TelemetrySink(None, interval_s=0.0)
+        sink.start_sweep("E1", 4, hits=2)
+        sink.cell_done(worker="0", elapsed_s=0.1, recomputed=True)
+        sink.fault("corrupt")
+        line = self._line(sink.snapshot())
+        assert line.startswith("\r")
+        assert "E1" in line and "3/4 cells" in line
+        assert "1 faults" in line
+        sink.finish_sweep()
+
+    def test_shrinking_line_is_blanked(self):
+        out = io.StringIO()
+        renderer = ProgressRenderer(out)
+        renderer.render({"experiment": "a-very-long-name", "cells_done": 1})
+        renderer.render({"experiment": "b", "cells_done": 2})
+        tail = out.getvalue().rsplit("\r", 1)[-1]
+        assert tail.endswith(" ")  # residue padded over
+        renderer.finish()
+        assert out.getvalue().endswith("\n")
+
+
+class TestMapGridTelemetry:
+    def test_serial_sweep_reports_cells(self):
+        out = io.StringIO()
+        sink = TelemetrySink(out, interval_s=0.0)
+        with using_telemetry(sink):
+            assert map_grid(square, [1, 2, 3]) == [1, 4, 9]
+        final = read_telemetry(io.StringIO(out.getvalue()))[-1]
+        assert final["experiment"] == "map_grid"
+        assert final["cells_done"] == 3 and final["final"]
+
+    def test_parallel_sweep_attributes_workers(self):
+        out = io.StringIO()
+        sink = TelemetrySink(out, interval_s=0.0)
+        with using_telemetry(sink):
+            assert map_grid(square, list(range(6)), workers=2) == [
+                n * n for n in range(6)
+            ]
+        final = read_telemetry(io.StringIO(out.getvalue()))[-1]
+        assert final["cells_done"] == 6
+        assert final["workers"]  # per-pid attribution present
+        assert sum(w["cells"] for w in final["workers"].values()) == 6
+
+
+class TestSamplingProfiler:
+    def test_sample_once_records_span_path_and_stack(self):
+        out = io.StringIO()
+        tracer = RecordingTracer()
+        profiler = SamplingProfiler(out, tracer=tracer)
+        with tracer.span("experiment"), tracer.span("inner_work"):
+            record = profiler.sample_once()
+        assert record["spans"] == ["experiment", "inner_work"]
+        samples = read_profile(io.StringIO(out.getvalue()))
+        assert len(samples) == 1
+        assert samples[0]["spans"] == ["experiment", "inner_work"]
+
+    def test_obs_frames_are_excluded_from_stacks(self):
+        out = io.StringIO()
+        record = SamplingProfiler(out).sample_once()
+        assert all(
+            not frame.startswith("repro.obs") for frame in record["stack"]
+        )
+
+    def test_background_thread_samples_and_stops(self):
+        import time
+
+        out = io.StringIO()
+        profiler = SamplingProfiler(out, hz=500.0, seed=1)
+        with profiler:
+            deadline = time.perf_counter() + 1.0
+            while (
+                profiler.samples_taken == 0
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.002)
+        assert profiler.samples_taken >= 1
+        assert read_profile(io.StringIO(out.getvalue()))
+
+    def test_seeded_jitter_replays(self):
+        import random
+
+        a = [random.Random(5).uniform(0.8, 1.2) for _ in range(8)]
+        b = [random.Random(5).uniform(0.8, 1.2) for _ in range(8)]
+        assert a == b
+
+
+class TestAnalysisUnits:
+    def _forest(self):
+        tracer = RecordingTracer()
+        with tracer.span("root"):
+            with tracer.span("fast"):
+                pass
+            with tracer.span("slow"):
+                with tracer.span("leaf"):
+                    pass
+        return build_span_forest(tracer.events), tracer
+
+    def test_forest_reassembly(self):
+        roots, _ = self._forest()
+        assert [root.name for root in roots] == ["root"]
+        assert [child.name for child in roots[0].children] == [
+            "fast", "slow",
+        ]
+
+    def test_orphan_spans_surface_as_roots(self):
+        tracer = RecordingTracer()
+        with tracer.span("root"):
+            pass
+        events = [e for e in tracer.events]
+        # Simulate a lost begin record by reparenting to a ghost id.
+        ghost = tracer.begin_span("stray", parent=999_999)
+        tracer.end_span(ghost)
+        events = tracer.events
+        roots = build_span_forest(events)
+        assert {root.name for root in roots} == {"root", "stray"}
+
+    def test_critical_path_takes_slowest_child(self):
+        roots, _ = self._forest()
+        # Synthesize elapsed fields so "slow" dominates.
+        for node in roots[0].walk():
+            node.end.fields["elapsed_s"] = (
+                2.0 if node.name in ("root", "slow", "leaf") else 0.1
+            )
+        path = critical_path(roots)
+        assert [node.name for node in path] == ["root", "slow", "leaf"]
+
+    def test_aggregate_spans_counts_and_sums(self):
+        roots, tracer = self._forest()
+        totals = aggregate_spans(tracer.events)
+        assert totals["root"][0] == 1
+        assert set(totals) == {"root", "fast", "slow", "leaf"}
+
+    def test_aggregate_profile_and_diff(self):
+        samples = [
+            {"spans": ["a", "b"], "stack": ["m:f"]},
+            {"spans": ["a", "b"], "stack": ["m:g"]},
+            {"spans": ["a"], "stack": []},
+            {"spans": [], "stack": []},
+        ]
+        by_span = aggregate_profile(samples)
+        assert by_span["a > b"] == (2, 0.5)
+        assert by_span["(no span)"] == (1, 0.25)
+        by_stack = aggregate_profile(samples, by="stack")
+        assert by_stack["(no repro frame)"][0] == 2
+        rows = diff_aggregates(by_span, by_span)
+        assert all(row[5] == 1.0 for row in rows if row[5] is not None)
+
+
+class TestMergeSnapshotLabels:
+    def _snapshot(self):
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("cells").inc(3, phase="batch")
+        worker.gauge("depth").set(7.0)
+        worker.histogram("bits").observe(5)
+        return worker.snapshot()
+
+    def test_unlabeled_merge_is_byte_identical(self):
+        from repro.obs import render_metrics
+
+        snapshot = self._snapshot()
+        plain = MetricsRegistry(enabled=True)
+        labeled_api = MetricsRegistry(enabled=True)
+        plain.merge_snapshot(snapshot)
+        labeled_api.merge_snapshot(snapshot, **{})
+        assert render_metrics(labeled_api) == render_metrics(plain)
+        assert (
+            labeled_api.snapshot().counters == plain.snapshot().counters
+        )
+
+    def test_label_is_applied_to_every_series(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.merge_snapshot(self._snapshot(), worker="3")
+        assert parent.counter("cells").value(phase="batch", worker="3") == 3
+        assert parent.counter("cells").value(phase="batch") == 0
+        gauges = parent.snapshot().gauges["depth"]
+        assert all(("worker", "3") in key for key in gauges)
+        hists = parent.snapshot().histograms["bits"]
+        assert all(("worker", "3") in key for key in hists)
+
+    def test_merge_label_wins_collisions(self):
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("cells").inc(2, worker="pid-1234")
+        parent = MetricsRegistry(enabled=True)
+        parent.merge_snapshot(worker.snapshot(), worker="0")
+        assert parent.counter("cells").value(worker="0") == 2
+
+    def test_labeled_merges_stay_distinguishable(self):
+        parent = MetricsRegistry(enabled=True)
+        for index in range(2):
+            worker = MetricsRegistry(enabled=True)
+            worker.counter("cells").inc(index + 1)
+            parent.merge_snapshot(worker.snapshot(), worker=str(index))
+        assert parent.counter("cells").value(worker="0") == 1
+        assert parent.counter("cells").value(worker="1") == 2
+
+    def test_map_grid_label_workers(self):
+        from repro.obs.metrics import REGISTRY, disable_metrics, enable_metrics
+        from tests.perf.test_map_grid import count_in_registry
+
+        enable_metrics(reset=True)
+        try:
+            map_grid(
+                count_in_registry,
+                list(range(1, 5)),
+                workers=2,
+                label_workers=True,
+            )
+            series = REGISTRY.counter("grid_test_units").series
+            worker_labels = {dict(key).get("worker") for key in series}
+            # Dense first-seen indices, never raw pids.
+            assert worker_labels
+            assert worker_labels <= {"0", "1"}
+            total = sum(series.values())
+            assert total == sum(range(1, 5))
+        finally:
+            disable_metrics()
