@@ -4,6 +4,10 @@
 Re-times a small set of representative kernels (batched tree
 enumeration, the fast bootstrap, one E1 grid point, the E1 sweep serial
 vs parallel) and compares them against ``benchmarks/perf_baseline.json``.
+It also runs the vectorized-vs-legacy kernel head-to-heads (the batched
+tree walk and the batched dart sampler) and enforces their speedup
+floors — those are same-process ratio checks, so they need no baseline
+calibration.
 
 Usage::
 
@@ -47,7 +51,18 @@ MIN_CPUS_FOR_SPEEDUP_CHECK = 4
 MIN_SERIAL_SECONDS_FOR_SPEEDUP_CHECK = 1.0
 SPEEDUP_FLOOR = 2.0
 
-#: The experiment's own default sweep (~2 s serial on the seed machine).
+#: Vectorized-vs-legacy floors (same-process ratios, enforced on
+#: machines with >= MIN_CPUS_FOR_SPEEDUP_CHECK CPUs and numpy).  The
+#: tree floor is pinned on a noisy-AND workload — branching protocols
+#: are where the batched walk's row-level math dominates; ingestion-
+#: bound workloads (wide sequential AND) cap nearer 7x.
+TREE_KERNEL_SPEEDUP_FLOOR = 10.0
+SAMPLER_KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: The legacy runner's own historical default sweep (~2 s serial on the
+#: seed machine) — timed with ``kernel="legacy"`` so the parallel
+#: speedup keeps measuring second-scale work (the vectorized simulators
+#: finish this grid in milliseconds, where pool startup is all there is).
 E1_GRID = (
     (64, 4), (256, 4), (1024, 4),
     (256, 8), (1024, 8), (2048, 8),
@@ -141,9 +156,107 @@ NULL_TRACER_OVERHEAD_CEILING = 1.25
 def time_e1_sweep():
     from repro.experiments.e1_disjointness_scaling import run
 
-    serial_s = best_of(lambda: run(grid=E1_GRID), repeats=2)
-    workers4_s = best_of(lambda: run(grid=E1_GRID, workers=4), repeats=2)
+    serial_s = best_of(
+        lambda: run(grid=E1_GRID, kernel="legacy"), repeats=2
+    )
+    workers4_s = best_of(
+        lambda: run(grid=E1_GRID, workers=4, kernel="legacy"), repeats=2
+    )
     return serial_s, workers4_s
+
+
+def measure_kernel_speedups():
+    """Vectorized-vs-legacy head-to-heads, timed in this process.
+
+    The legacy side of the tree walk is second-scale, so it is timed
+    once; the millisecond-scale vectorized side takes the best of 3 to
+    shed timer noise.  Returns ``None`` when numpy is unavailable (the
+    vectorized kernel cannot run at all there).
+    """
+    from repro.perf import kernels
+
+    if not kernels.numpy_available():
+        return None
+
+    import random as random_module
+
+    from repro.compression.sampling import (
+        BatchedDartSampler,
+        cell_seed,
+        simulate_sampling_round,
+    )
+    from repro.core import tree
+    from repro.information.distribution import DiscreteDistribution
+    from repro.lowerbounds.hard_distribution import and_hard_distribution
+    from repro.protocols import NoisySequentialAndProtocol
+
+    # --- batched tree walk: NoisySequentialAnd(10) over the full k=10
+    # hard-distribution support (1023 inputs, branching at every level).
+    protocol = NoisySequentialAndProtocol(10, 0.125)
+    seen = set()
+    keys = []
+    for (x, _z), _p in and_hard_distribution(10).items():
+        if x not in seen:
+            seen.add(x)
+            keys.append(tuple(x))
+
+    def walk(engine):
+        memo = tree.MessageDistributionMemo()
+        engine(protocol, keys, max_messages=10_000, memo=memo)
+
+    tree_legacy_s = best_of(
+        lambda: walk(tree._legacy_walk_sorted_leaves), repeats=1
+    )
+    tree_vectorized_s = best_of(
+        lambda: walk(kernels.tree_walk_sorted_leaves), repeats=3
+    )
+
+    # --- batched dart sampler: 64 Lemma 7 cells over a 256-element
+    # universe, 96 lockstep rounds (the scalar path re-scans the
+    # universe every round; the batched one hits its cached tables).
+    def make_cells():
+        cells = []
+        for c in range(64):
+            universe = tuple(range(256))
+            eta = DiscreteDistribution(
+                {v: (v + 1 + (c % 7)) ** 1.5 for v in universe},
+                normalize=True,
+            )
+            nu = DiscreteDistribution(
+                {v: 1.0 + ((v * 31 + c) % 11) for v in universe},
+                normalize=True,
+            )
+            cells.append((eta, nu, universe))
+        return cells
+
+    cells = make_cells()
+
+    def sampler_scalar():
+        for index, (eta, nu, universe) in enumerate(cells):
+            rng = random_module.Random(cell_seed(0, index))
+            for _ in range(96):
+                simulate_sampling_round(eta, nu, rng, universe=universe)
+
+    def sampler_batched():
+        BatchedDartSampler(cells, seed=0).advance(96)
+
+    sampler_legacy_s = best_of(sampler_scalar, repeats=2)
+    sampler_vectorized_s = best_of(sampler_batched, repeats=3)
+
+    return {
+        "tree_walk_noisy_and10": {
+            "legacy_s": tree_legacy_s,
+            "vectorized_s": tree_vectorized_s,
+            "speedup": tree_legacy_s / tree_vectorized_s,
+            "floor": TREE_KERNEL_SPEEDUP_FLOOR,
+        },
+        "dart_sampler_64cells_u256": {
+            "legacy_s": sampler_legacy_s,
+            "vectorized_s": sampler_vectorized_s,
+            "speedup": sampler_legacy_s / sampler_vectorized_s,
+            "floor": SAMPLER_KERNEL_SPEEDUP_FLOOR,
+        },
+    }
 
 
 def measure():
@@ -160,6 +273,7 @@ def measure():
         "workers4_s": workers4_s,
         "speedup_at_4_workers": serial_s / workers4_s,
     }
+    results["kernel_speedups"] = measure_kernel_speedups()
     results["machine"] = {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
@@ -234,6 +348,28 @@ def check(baseline, current, tolerance):
             f"{MIN_CPUS_FOR_SPEEDUP_CHECK} CPUs and >= "
             f"{MIN_SERIAL_SECONDS_FOR_SPEEDUP_CHECK}s of serial work)"
         )
+
+    speedups = current.get("kernel_speedups")
+    if speedups is None:
+        print("  kernel speedups: skipped (numpy unavailable)")
+    else:
+        enforce = cpus >= MIN_CPUS_FOR_SPEEDUP_CHECK
+        for name, entry in speedups.items():
+            verdict = "ok"
+            if enforce and entry["speedup"] < entry["floor"]:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: vectorized/legacy speedup "
+                    f"{entry['speedup']:.1f}x < {entry['floor']}x floor"
+                )
+            elif not enforce:
+                verdict = "recorded (floor not enforced on this machine)"
+            print(
+                f"  {name}: legacy {entry['legacy_s']:.3f}s, vectorized "
+                f"{entry['vectorized_s']:.3f}s, speedup "
+                f"{entry['speedup']:.1f}x (floor {entry['floor']}x)  "
+                f"{verdict}"
+            )
     return failures
 
 

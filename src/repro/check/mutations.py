@@ -35,6 +35,7 @@ from ..information.distribution import DiscreteDistribution, JointDistribution
 
 __all__ = [
     "TREE_BUGS",
+    "VECTORIZED_BUGS",
     "CLOSED_FORM_BUGS",
     "CHAIN_RULE_BUGS",
     "FACTOR_BUGS",
@@ -46,6 +47,7 @@ __all__ = [
     "store_serve",
     "networked_reference",
     "legacy_joint_transcript_distribution",
+    "vectorized_reference",
     "closed_form_cic",
     "chain_rule_information",
     "factor_probability",
@@ -144,6 +146,143 @@ def legacy_joint_transcript_distribution(
         for transcript, p_transcript in dist.items():
             outcome = scenario + (transcript,)
             probs[outcome] = probs.get(outcome, 0.0) + p_scenario * p_transcript
+    full_names = tuple(names) + ("transcript",) if names is not None else None
+    return JointDistribution(probs, names=full_names, normalize=True)
+
+
+# ----------------------------------------------------------------------
+# 1b. Lockstep group-by walk (reference for the vectorized kernel engine).
+# ----------------------------------------------------------------------
+VECTORIZED_BUGS: Tuple[str, ...] = ("partition-order", "axis-swap")
+
+
+def vectorized_reference(
+    protocol: Protocol,
+    scenarios: DiscreteDistribution,
+    inputs_of: Optional[Callable[[Any], Sequence[Any]]] = None,
+    *,
+    names: Optional[Sequence[str]] = None,
+    bug: Optional[str] = None,
+) -> JointDistribution:
+    """The joint ``(scenario..., transcript)`` law via an independent
+    lockstep group-by walk mirroring the *structure* of
+    :func:`repro.perf.kernels.tree_walk_sorted_leaves`: every input
+    advances through the tree together, partitioned at each node by
+    message distribution, and all leaves land in one flat
+    arrival-ordered table that is re-partitioned per input at the end —
+    exactly the step the planted bugs corrupt.
+
+    Planted bugs:
+
+    * ``"partition-order"`` — the flat leaf table is sliced into
+      per-input runs in raw arrival order, skipping the stable
+      re-partition by input (the group-by equivalent of trusting
+      ``np.unique``'s sorted return order to be first-seen order).
+      Whenever two inputs' leaves interleave, masses are attributed to
+      the wrong input.
+    * ``"axis-swap"`` — the re-partition sorts with its key columns
+      swapped (path-major instead of input-major — the ``np.lexsort``
+      argument-order trap), breaking the input-contiguity the slicing
+      assumes.
+    """
+    _check_bug(bug, VECTORIZED_BUGS)
+    if inputs_of is None:
+        inputs_of = lambda scenario: scenario[0]  # noqa: E731
+    keys: List[Tuple[Any, ...]] = []
+    first_seen: Dict[Tuple[Any, ...], int] = {}
+    for scenario, _p in scenarios.items():
+        key = tuple(inputs_of(scenario))
+        if key not in first_seen:
+            first_seen[key] = len(keys)
+            keys.append(key)
+
+    # (member, path, board, prob) in lockstep arrival order; ``path`` is
+    # the per-node message-enumeration index trail, so descending path
+    # order is the per-input leaf order of the production engines.
+    arrivals: List[Tuple[int, Tuple[int, ...], Transcript, float]] = []
+
+    def walk(members, probs, state, board, path):
+        speaker = protocol.next_speaker(state, board)
+        if speaker is None:
+            for member, p in zip(members, probs):
+                arrivals.append((member, path, board, p))
+            return
+        partitions: Dict[Any, int] = {}
+        part_members: List[List[int]] = []
+        part_probs: List[List[float]] = []
+        part_dists: List[DiscreteDistribution] = []
+        for member, p in zip(members, probs):
+            dist = protocol.message_distribution(
+                state, speaker, keys[member][speaker], board
+            )
+            signature = tuple(dist.items())
+            group = partitions.get(signature)
+            if group is None:
+                group = len(part_dists)
+                partitions[signature] = group
+                part_dists.append(dist)
+                part_members.append([])
+                part_probs.append([])
+            part_members[group].append(member)
+            part_probs[group].append(p)
+        for group, dist in enumerate(part_dists):
+            for position, (bits, p_msg) in enumerate(dist.items()):
+                if p_msg <= 0.0:
+                    continue
+                if bits == "":
+                    raise ProtocolViolation(
+                        "protocols may not write empty messages"
+                    )
+                message = Message(speaker=speaker, bits=bits)
+                walk(
+                    part_members[group],
+                    [p * p_msg for p in part_probs[group]],
+                    protocol.advance_state(state, message),
+                    board.extend(message),
+                    path + (position,),
+                )
+
+    walk(
+        list(range(len(keys))),
+        [1.0] * len(keys),
+        protocol.initial_state(),
+        Transcript(),
+        (),
+    )
+
+    if bug == "partition-order":
+        ordered = list(arrivals)
+    else:
+
+        def sort_key(row):
+            member, path, _board, _p = row
+            inverted = tuple(-digit for digit in path)
+            if bug == "axis-swap":
+                return (inverted, member)
+            return (member, inverted)
+
+        ordered = sorted(arrivals, key=sort_key)
+
+    counts = [0] * len(keys)
+    for member, _path, _board, _p in arrivals:
+        counts[member] += 1
+    tables: List[DiscreteDistribution] = []
+    offset = 0
+    for member in range(len(keys)):
+        accumulated: Dict[Transcript, float] = {}
+        for _m, _path, board, p in ordered[offset:offset + counts[member]]:
+            accumulated[board] = accumulated.get(board, 0.0) + p
+        tables.append(DiscreteDistribution(accumulated, normalize=True))
+        offset += counts[member]
+
+    probs: Dict[Tuple[Any, ...], float] = {}
+    for scenario, p_scenario in scenarios.items():
+        table = tables[first_seen[tuple(inputs_of(scenario))]]
+        for transcript, p_transcript in table.items():
+            outcome = scenario + (transcript,)
+            probs[outcome] = (
+                probs.get(outcome, 0.0) + p_scenario * p_transcript
+            )
     full_names = tuple(names) + ("transcript",) if names is not None else None
     return JointDistribution(probs, names=full_names, normalize=True)
 

@@ -9,6 +9,10 @@ GeneratedCase`) and checks one cross-layer agreement property:
                       consistency, board-determined speakers).
 ``batched-vs-legacy`` the batched tree walk is *bit-identical* to an
                       independent per-input DFS reference.
+``vectorized-vs-legacy`` the numpy kernel engine, the dict-driven
+                      legacy engine, and an independent lockstep
+                      group-by re-derivation produce *bit-identical*
+                      joint laws (the ``--kernel`` contract).
 ``exact-vs-mc``       the exact analyzer's information cost lies in the
                       Monte-Carlo estimator's bootstrap interval
                       (widened by the plug-in bias allowance).
@@ -68,6 +72,7 @@ __all__ = [
     "Oracle",
     "DisciplineOracle",
     "BatchedTreeOracle",
+    "VectorizedKernelOracle",
     "MonteCarloOracle",
     "ClosedFormOracle",
     "SamplerOracle",
@@ -154,6 +159,61 @@ class BatchedTreeOracle(Oracle):
             detail = _first_item_mismatch(subject_items, reference_items)
             return self._fail(f"joint laws are not bit-identical: {detail}")
         return self._ok(f"{len(subject_items)} joint outcomes bit-identical")
+
+
+class VectorizedKernelOracle(Oracle):
+    """Vectorized kernel engine == legacy engine == independent group-by
+    re-derivation, item-for-item.
+
+    The production comparison pits the two real engines of
+    :func:`repro.core.tree.batched_joint_transcript_distribution`
+    against each other (``repro.perf.kernels`` array walk vs the
+    dict-driven walk) — the bit-identity contract the ``--kernel`` flag
+    relies on.  The planted-bug self-test routes the independent
+    lockstep re-derivation (:func:`repro.check.mutations.
+    vectorized_reference`) into the same comparison with a
+    partition-order or lexsort-axis defect, proving an engine bug of
+    either class cannot slip through item comparison.  Skipped (as a
+    pass) when numpy is unavailable — there is no vectorized engine to
+    differ.
+    """
+
+    name = "vectorized-vs-legacy"
+    bugs = mutations.VECTORIZED_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        from ..perf import kernels
+
+        if not kernels.numpy_available():
+            return self._ok("skipped: numpy unavailable")
+        scenarios = case.input_dist.map(lambda x: (x,))
+        with kernels.using_kernel("legacy"):
+            legacy = batched_joint_transcript_distribution(
+                case.protocol, scenarios, names=("inputs",)
+            )
+        with kernels.using_kernel("vectorized"):
+            vectorized = batched_joint_transcript_distribution(
+                case.protocol, scenarios, names=("inputs",)
+            )
+        reference = mutations.vectorized_reference(
+            case.protocol, scenarios, names=("inputs",), bug=bug
+        )
+        legacy_items = list(legacy.items())
+        for label, other in (
+            ("vectorized engine", vectorized),
+            ("group-by reference", reference),
+        ):
+            other_items = list(other.items())
+            if other_items != legacy_items:
+                detail = _first_item_mismatch(other_items, legacy_items)
+                return self._fail(
+                    f"{label} is not bit-identical to the legacy engine: "
+                    f"{detail}"
+                )
+        return self._ok(
+            f"{len(legacy_items)} joint outcomes bit-identical across "
+            "engines"
+        )
 
 
 def _first_item_mismatch(
@@ -563,6 +623,7 @@ class StoreRoundtripOracle(Oracle):
 ALL_ORACLES: Tuple[Oracle, ...] = (
     DisciplineOracle(),
     BatchedTreeOracle(),
+    VectorizedKernelOracle(),
     InvariantsOracle(),
     ClosedFormOracle(),
     SamplerOracle(),

@@ -70,11 +70,13 @@ __all__ = [
     "SampledMessage",
     "NaiveDartResult",
     "RoundCostMoments",
+    "BatchedDartSampler",
     "run_naive_dart_protocol",
     "simulate_sampling_round",
     "expected_round_cost",
     "lemma7_cost_bound",
     "curve_masses",
+    "cell_seed",
 ]
 
 
@@ -511,6 +513,168 @@ def simulate_sampling_round(
 
 
 # ----------------------------------------------------------------------
+# Batched sampler: many grid cells advanced in lockstep.
+# ----------------------------------------------------------------------
+def cell_seed(seed: int, index: int) -> int:
+    """The derived seed of cell ``index`` under a batch seed.
+
+    Exposed so tests (and callers wanting the scalar path) can construct
+    the exact per-cell ``random.Random`` streams a
+    :class:`BatchedDartSampler` uses.
+    """
+    return (seed * 0x9E3779B97F4A7C15 + index) % (1 << 63)
+
+
+class BatchedDartSampler:
+    """Advance many grid cells' Lemma 7 samplers in lockstep.
+
+    Each cell is an ``(eta, nu, universe)`` triple with its own seeded
+    ``random.Random`` stream (see :func:`cell_seed`), and every round of
+    every cell draws from that stream **in exactly the order the scalar
+    path does** — cell ``c``'s round-``r`` message is bit-identical to
+    the ``r``-th :func:`simulate_sampling_round` call on a fresh
+    ``random.Random(cell_seed(seed, c))`` with the same ``(eta, nu,
+    universe)``.
+
+    What makes it fast is everything that *doesn't* touch the RNG: the
+    per-cell cumulative tables for value sampling (a ``searchsorted``
+    replaces the scalar path's linear scan) and the per-``(cell, s)``
+    curve masses (one vectorized reduction, cached — the scalar path
+    recomputes an :math:`O(|U|)` sum every round).  All float operations
+    replicate the scalar fold order, so the cached values are the exact
+    floats the scalar path produces.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[Tuple[DiscreteDistribution, DiscreteDistribution,
+                              Sequence[Any]]],
+        *,
+        seed: int = 0,
+        seeds: Optional[Sequence[int]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        from ..perf import kernels
+
+        self._np = kernels.require_numpy()
+        self._ordered_sum = kernels.ordered_sum
+        self._count_call = kernels._count_call
+        if not cells:
+            raise ValueError("need at least one cell")
+        if seeds is not None and len(seeds) != len(cells):
+            raise ValueError(
+                f"{len(seeds)} seeds given for {len(cells)} cells"
+            )
+        self._tracer = tracer
+        self._cells: List[Tuple[Any, ...]] = []
+        self._rngs: List[random.Random] = []
+        np_ = self._np
+        for index, (eta, nu, universe) in enumerate(cells):
+            universe = list(universe)
+            size = len(universe)
+            if size < 1:
+                raise ValueError("universe must be non-empty")
+            support: List[Any] = []
+            probs: List[float] = []
+            for outcome, p in eta.items():
+                support.append(outcome)
+                probs.append(p)
+            # np.add.accumulate is a sequential fold, so the table holds
+            # the exact running sums eta.sample's scan computes.
+            cumulative = np_.add.accumulate(
+                np_.array(probs, dtype=np_.float64)
+            )
+            eta_arr = np_.array(
+                [eta[x] for x in universe], dtype=np_.float64
+            )
+            nu_arr = np_.array(
+                [nu[x] for x in universe], dtype=np_.float64
+            )
+            self._cells.append(
+                (eta, nu, size, support, cumulative, eta_arr, nu_arr, {})
+            )
+            cell = seeds[index] if seeds is not None else cell_seed(
+                seed, index
+            )
+            self._rngs.append(random.Random(cell))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def _masses(self, cell: Tuple[Any, ...], s: int) -> Tuple[float, float]:
+        """Curve masses for one cell at scale ``2**s``, cached.
+
+        Same fold as :func:`curve_masses`: elementwise ``min`` then a
+        left-to-right sum from 0.0 in universe order.
+        """
+        cache = cell[7]
+        masses = cache.get(s)
+        if masses is None:
+            np_ = self._np
+            scale = 2.0**s
+            g = np_.minimum(scale * cell[6], 1.0)
+            g_eta = np_.minimum(g, cell[5])
+            masses = cache[s] = (
+                self._ordered_sum(g), self._ordered_sum(g_eta)
+            )
+        return masses
+
+    def sample_round(self) -> List[SampledMessage]:
+        """One Lemma 7 round for every cell, in cell order."""
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        self._count_call("batched_sampler_round")
+        np_ = self._np
+        messages: List[SampledMessage] = []
+        for cell, rng in zip(self._cells, self._rngs):
+            eta, nu, size, support, cumulative, _ea, _na, _cache = cell
+            # value = eta.sample(rng): the scan's "first running sum
+            # exceeding u" is searchsorted side='right' (u == sum keeps
+            # scanning in both), with the same round-off fallback to the
+            # last outcome.
+            u = rng.random()
+            position = int(np_.searchsorted(cumulative, u, side="right"))
+            if position >= len(support):
+                position = len(support) - 1
+            value = support[position]
+            s = _log_ratio_ceil(eta[value], nu[value])
+            i = _sample_geometric(rng, 1.0 / size)
+            block = (i + size - 1) // size
+            within = i - (block - 1) * size
+            before = within - 1
+            after = size - within
+            a_g, a_g_eta = self._masses(cell, s)
+            p_before = max(a_g - a_g_eta, 0.0) / max(size - 1.0, 1.0)
+            p_after = a_g / size
+            count_before = _sample_binomial(rng, before, min(p_before, 1.0))
+            count_after = _sample_binomial(rng, after, min(p_after, 1.0))
+            candidate_count = count_before + count_after + 1
+            rank = count_before + 1
+            cost = SamplingCost(
+                block_bits=_block_bits(block),
+                ratio_bits=_ratio_bits(s),
+                rank_bits=_rank_width(candidate_count),
+            )
+            message = SampledMessage(
+                value=value,
+                s=s,
+                block=block,
+                rank=rank,
+                candidate_count=candidate_count,
+                cost=cost,
+            )
+            _record_round(tracer, "batched", message, darts_rejected=i - 1)
+            messages.append(message)
+        return messages
+
+    def advance(self, rounds: int) -> List[List[SampledMessage]]:
+        """``rounds`` lockstep rounds; ``result[r][c]`` is cell ``c``'s
+        round-``r`` message."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        return [self.sample_round() for _ in range(rounds)]
+
+
+# ----------------------------------------------------------------------
 # Exact cost moments (no sampling at all).
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -671,8 +835,11 @@ def expected_round_cost(
 
 
 # ----------------------------------------------------------------------
-# Exact samplers for the auxiliary laws (no numpy dependency so that the
-# RNG stream is fully reproducible from a single random.Random).
+# Exact samplers for the auxiliary laws.  Each draws from a single
+# ``random.Random`` so that a cell's RNG stream is fully reproducible;
+# the batched sampler above reuses these scalar draws per cell (numpy —
+# now a real dependency, see ``repro.perf.kernels`` — only vectorizes
+# the draw-free curve-mass and cumulative-table work).
 # ----------------------------------------------------------------------
 def _sample_geometric(rng: random.Random, p: float) -> int:
     """Number of trials to first success, support {1, 2, ...}."""

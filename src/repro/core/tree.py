@@ -320,14 +320,93 @@ def batched_joint_transcript_distribution(
 
     # ------------------------------------------------------------------
     # Pass 2: one DFS over the *union* protocol tree.  Each node carries
-    # the population of input tuples that reach its board, as a mapping
+    # the population of input tuples that reach its board.  Under the
+    # vectorized kernel (repro.perf.kernels) the population is index /
+    # probability / index-path arrays and partitioning is a group-by;
+    # the legacy walk below carries a mapping
     # input tuple -> (probability of this path under that input,
     #                 child-index path in that input's own enumeration).
-    # The index path lets us replay, per input, the exact leaf order the
-    # per-input DFS produces (children are pushed in message order and
-    # popped LIFO, so leaves arrive in descending lexicographic index
-    # order) — which pins the normalization sum bit-for-bit.
+    # Either way the index path lets us replay, per input, the exact leaf
+    # order the per-input DFS produces (children are pushed in message
+    # order and popped LIFO, so leaves arrive in descending lexicographic
+    # index order) — which pins the normalization sum bit-for-bit.
     # ------------------------------------------------------------------
+    from ..perf import kernels
+
+    leaf_table = None
+    if kernels.use_vectorized():
+        try:
+            leaf_table, nodes_expanded, union_leaf_count, max_depth = (
+                kernels.tree_walk_sorted_leaves(
+                    protocol,
+                    input_keys,
+                    max_messages=max_messages,
+                    memo=memo,
+                )
+            )
+        except TypeError:
+            # Unhashable input coordinates cannot be dense-coded; the
+            # dict-driven walk handles them.
+            leaf_table = None
+    if leaf_table is None:
+        leaf_table, nodes_expanded, union_leaf_count, max_depth = (
+            _legacy_walk_sorted_leaves(
+                protocol, input_keys, max_messages=max_messages, memo=memo
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Pass 3: each input's transcript law from its ordered leaf rows
+    # (descending lexicographic index path — either engine delivers this
+    # order), accumulating and normalizing exactly as the per-input path
+    # does, then scenario mass in scenario/transcript iteration order.
+    # ------------------------------------------------------------------
+    counts, leaf_boards, leaf_probs = leaf_table
+    transcripts_by_key: Dict[Tuple[Any, ...], DiscreteDistribution] = {}
+    pos = 0
+    for key, count in zip(input_keys, counts):
+        leaves: Dict[Transcript, float] = {}
+        for offset in range(pos, pos + count):
+            leaf_board = leaf_boards[offset]
+            leaves[leaf_board] = (
+                leaves.get(leaf_board, 0.0) + leaf_probs[offset]
+            )
+        pos += count
+        transcripts_by_key[key] = DiscreteDistribution(leaves, normalize=True)
+
+    return _assemble_joint(
+        protocol,
+        scenario_rows,
+        input_keys,
+        transcripts_by_key,
+        nodes_expanded,
+        union_leaf_count,
+        max_depth,
+        names=names,
+        tracer=tracer,
+        reg=reg,
+        memo=memo,
+        memo_before=memo_before,
+    )
+
+
+def _legacy_walk_sorted_leaves(
+    protocol: Protocol,
+    input_keys: Sequence[Tuple[Any, ...]],
+    *,
+    max_messages: int = DEFAULT_MAX_MESSAGES,
+    memo: Optional[MessageDistributionMemo] = None,
+) -> Tuple[Tuple[List[int], List[Transcript], List[float]], int, int, int]:
+    """The dict-driven shared walk (the ``legacy`` kernel's engine).
+
+    Returns ``(leaf_table, nodes_expanded, union_leaves, max_depth)``
+    where ``leaf_table = (counts, boards, probabilities)`` concatenates
+    every input's leaf entries in input order — ``counts[j]`` rows for
+    ``input_keys[j]``, each row already in that input's per-input DFS
+    leaf order.  The same contract as
+    :func:`repro.perf.kernels.tree_walk_sorted_leaves`, so the caller's
+    accumulation is engine-independent.
+    """
     Groups = Dict[Tuple[Any, ...], Tuple[float, Tuple[int, ...]]]
     leaves_by_key: Dict[
         Tuple[Any, ...], List[Tuple[Tuple[int, ...], Transcript, float]]
@@ -400,20 +479,45 @@ def batched_joint_transcript_distribution(
                 )
             )
 
-    # ------------------------------------------------------------------
-    # Pass 3: rebuild each input's transcript law in its per-input DFS
-    # leaf order (descending lexicographic index path), then accumulate
-    # scenario mass exactly as the per-input path does.
-    # ------------------------------------------------------------------
-    transcripts_by_key: Dict[Tuple[Any, ...], DiscreteDistribution] = {}
+    # Sort each input's leaves into its per-input DFS order (descending
+    # lexicographic index path), then flatten into the engine-shared
+    # (counts, boards, probabilities) leaf table — flat parallel lists
+    # avoid materializing one pair tuple per (input, leaf) row.
+    counts: List[int] = []
+    boards_flat: List[Transcript] = []
+    probs_flat: List[float] = []
     for key in input_keys:
         entries = leaves_by_key[key]
         entries.sort(key=lambda entry: entry[0], reverse=True)
-        leaves: Dict[Transcript, float] = {}
-        for _index_path, leaf_board, prob in entries:
-            leaves[leaf_board] = leaves.get(leaf_board, 0.0) + prob
-        transcripts_by_key[key] = DiscreteDistribution(leaves, normalize=True)
+        counts.append(len(entries))
+        for _path, board, prob in entries:
+            boards_flat.append(board)
+            probs_flat.append(prob)
+    return (
+        (counts, boards_flat, probs_flat),
+        nodes_expanded,
+        len(union_leaves),
+        max_depth,
+    )
 
+
+def _assemble_joint(
+    protocol: Protocol,
+    scenario_rows: List[Tuple[Tuple[Any, ...], float, Tuple[Any, ...]]],
+    input_keys: List[Tuple[Any, ...]],
+    transcripts_by_key: Dict[Tuple[Any, ...], DiscreteDistribution],
+    nodes_expanded: int,
+    union_leaf_count: int,
+    max_depth: int,
+    *,
+    names: Optional[Sequence[str]],
+    tracer: Optional[Tracer],
+    reg,
+    memo: Optional[MessageDistributionMemo],
+    memo_before: Tuple[int, int],
+) -> JointDistribution:
+    """Scenario-mass accumulation + observability tail shared by the
+    legacy and vectorized walks (identical float fold either way)."""
     probs: Dict[Tuple[Any, ...], float] = {}
     for scenario, p_scenario, key in scenario_rows:
         for transcript, p_transcript in transcripts_by_key[key].items():
@@ -434,9 +538,9 @@ def batched_joint_transcript_distribution(
     if reg is not None:
         name = type(protocol).__name__
         reg.counter("tree_nodes_expanded").inc(nodes_expanded, protocol=name)
-        reg.counter("tree_leaves").inc(len(union_leaves), protocol=name)
+        reg.counter("tree_leaves").inc(union_leaf_count, protocol=name)
         reg.histogram("tree_depth").observe(max_depth, protocol=name)
-        reg.histogram("tree_support").observe(len(union_leaves), protocol=name)
+        reg.histogram("tree_support").observe(union_leaf_count, protocol=name)
         _flush_memo_counters(reg, memo, memo_before, name)
     full_names = None
     if names is not None:

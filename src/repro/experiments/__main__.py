@@ -14,9 +14,15 @@ Usage::
     python -m repro.experiments E1 --telemetry t.jsonl # sweep snapshots
     python -m repro.experiments E1 --profile p.jsonl   # sampling profiler
 
-    # Networked execution (see docs/networking.md):
-    python -m repro.experiments E1 --transport loopback   # via repro.net
-    python -m repro.experiments E1 --transport loopback --fault-seed 7
+    # Kernel selection (see docs/performance.md): bit-identical engines
+    python -m repro.experiments E1 --kernel legacy     # pure-Python loops
+    python -m repro.experiments E2 --kernel vectorized # numpy kernels
+
+    # Networked execution (see docs/networking.md).  --quick keeps the
+    # sweep on the classic grid — the extended default's big points cost
+    # tens of minutes when every message is framed over the wire:
+    python -m repro.experiments E1 --quick --transport loopback
+    python -m repro.experiments E1 --quick --transport loopback --fault-seed 7
 
     # Result store (see docs/store.md): cold run computes and
     # checkpoints, warm re-run is pure cache hits, byte-identical:
@@ -124,6 +130,24 @@ def main(argv=None) -> int:
              "runtime (tables are byte-identical across backends)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("legacy", "vectorized"),
+        default=None,
+        help="exact-computation engine for experiments that support it: "
+             "'vectorized' (the default when numpy is installed) runs "
+             "the numpy-backed kernels in repro.perf.kernels, 'legacy' "
+             "forces the pure-Python loops; results are bit-identical "
+             "(see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="for experiments that support it, sweep the classic "
+             "(pre-extension) grid instead of the extended default — "
+             "use with --transport loopback/tcp, where framing every "
+             "message of the extended points costs tens of minutes",
+    )
+    parser.add_argument(
         "--store",
         metavar="DIR",
         default=None,
@@ -213,6 +237,12 @@ def main(argv=None) -> int:
                     runner, "fault_seed"
                 ):
                     kwargs["fault_seed"] = args.fault_seed
+                if args.kernel is not None and _supports_kwarg(
+                    runner, "kernel"
+                ):
+                    kwargs["kernel"] = args.kernel
+                if args.quick and _supports_kwarg(runner, "quick"):
+                    kwargs["quick"] = True
                 started = time.monotonic()
                 if tracer:
                     with tracer.span("experiment", experiment=eid):

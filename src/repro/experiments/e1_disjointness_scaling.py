@@ -26,6 +26,7 @@ from ..core.runner import ProtocolRun, run_protocol
 from ..core.tasks import disjointness_task
 from ..net import TRANSPORTS, run_networked
 from ..net.faults import chaos_plan
+from ..perf import kernels
 from ..store.keys import code_version
 from ..store.store import ResultStore
 from ..store.sweep import checkpointed_map_grid
@@ -35,7 +36,13 @@ from ..protocols.trivial import TrivialDisjointnessProtocol
 from .tables import ExperimentTable
 from .workloads import partition_instance, random_instance
 
-__all__ = ["run", "DEFAULT_GRID", "measure_point", "E1_TRANSPORTS"]
+__all__ = [
+    "run",
+    "CLASSIC_GRID",
+    "DEFAULT_GRID",
+    "measure_point",
+    "E1_TRANSPORTS",
+]
 
 #: Execution backends for the worst-case measurements: the in-memory
 #: runner plus every ``repro.net`` transport.  Because the networked
@@ -43,9 +50,11 @@ __all__ = ["run", "DEFAULT_GRID", "measure_point", "E1_TRANSPORTS"]
 #: is byte-identical across all of them (pinned by tests/net/).
 E1_TRANSPORTS: Tuple[str, ...] = ("memory",) + TRANSPORTS
 
-#: (n, k) grid covering both regimes (n >= k^2 batch phase and the
-#: endgame-only regime), sized so the full sweep runs in seconds.
-DEFAULT_GRID: Sequence[Tuple[int, int]] = (
+#: The original (n, k) grid, covering both regimes (n >= k^2 batch
+#: phase and the endgame-only regime) at sizes every backend — the
+#: message-level runner, both networked transports, ``--kernel legacy``
+#: — completes in seconds (``--quick`` on the CLI).
+CLASSIC_GRID: Sequence[Tuple[int, int]] = (
     (64, 4),
     (256, 4),
     (1024, 4),
@@ -56,6 +65,21 @@ DEFAULT_GRID: Sequence[Tuple[int, int]] = (
     (2048, 16),
     (1024, 32),
     (2048, 64),
+)
+
+#: The default grid extends CLASSIC_GRID an order of magnitude.  The
+#: points beyond (2048, 64) are reachable in seconds only because the
+#: vectorized kernel replays the protocols with the exact bigint
+#: simulators; ``--kernel legacy`` still completes the whole grid in
+#: minutes (the message-level runner materializes every combinadic
+#: rank), and networked transports should prefer ``--quick`` — framing
+#: every message of the big points costs tens of minutes.
+DEFAULT_GRID: Sequence[Tuple[int, int]] = tuple(CLASSIC_GRID) + (
+    (8192, 16),
+    (8192, 64),
+    (16384, 128),
+    (32768, 128),
+    (32768, 256),
 )
 
 
@@ -89,6 +113,14 @@ def measure_point(
     ``fault_seed``, which (loopback only) injects the recoverable
     chaos plan: drops, delays, corruption, and a crash-restart, all of
     which the runtime absorbs without changing a single counted bit.
+
+    When the vectorized kernel is active (the default with numpy
+    installed) and the in-memory backend is selected with no fault
+    injection, the three protocols are replayed by the exact bigint
+    simulators in :mod:`repro.perf.kernels` instead of the message-level
+    runner — bit counts and outputs are pinned identical to
+    :func:`run_protocol` by tests/experiments/, which is what lets the
+    default grid reach the ``n`` in the tens of thousands.
     """
     if transport not in E1_TRANSPORTS:
         raise ValueError(
@@ -98,6 +130,25 @@ def measure_point(
     inputs = partition_instance(n, k)
     task = disjointness_task(n, k)
     expected = task.evaluate(inputs)
+    if (
+        transport == "memory"
+        and fault_seed is None
+        and kernels.use_vectorized()
+    ):
+        results = []
+        for name, simulate in (
+            ("OptimalDisjointnessProtocol",
+             kernels.simulate_optimal_disjointness),
+            ("NaiveDisjointnessProtocol",
+             kernels.simulate_naive_disjointness),
+            ("TrivialDisjointnessProtocol",
+             kernels.simulate_trivial_disjointness),
+        ):
+            bits, output = simulate(n, k, inputs)
+            if output != expected:
+                raise AssertionError(f"{name} wrong at n={n}, k={k}")
+            results.append(bits)
+        return tuple(results)  # type: ignore[return-value]
     results = []
     for protocol in (
         OptimalDisjointnessProtocol(n, k),
@@ -120,6 +171,7 @@ def _measure_grid_point(
     check_random_instances: bool,
     transport: str = "memory",
     fault_seed: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[int, int, int]:
     """One E1 grid task: worst-case bits at ``(n, k)`` plus an optional
     random-instance correctness check.
@@ -127,22 +179,42 @@ def _measure_grid_point(
     Pure in ``(point, seed)`` — the random check instances are drawn from
     a per-task RNG seeded by :func:`repro.perf.derive_seed`, never from a
     sweep-wide RNG, so the sweep is parallelizable without changing any
-    result.
+    result.  ``kernel`` is applied *inside* the task body so worker
+    processes honor the sweep's ``--kernel`` selection regardless of the
+    multiprocessing start method.
     """
     n, k = point
-    bits = measure_point(n, k, transport=transport, fault_seed=fault_seed)
-    if check_random_instances:
-        rng = random.Random(seed)
-        task = disjointness_task(n, k)
-        inputs = random_instance(n, k, rng)
-        for protocol_cls in (
-            OptimalDisjointnessProtocol, NaiveDisjointnessProtocol,
-        ):
-            outcome = run_protocol(protocol_cls(n, k), inputs)
-            if outcome.output != task.evaluate(inputs):
-                raise AssertionError(
-                    f"{protocol_cls.__name__} wrong on random instance"
+    with kernels.using_kernel(kernel):
+        bits = measure_point(
+            n, k, transport=transport, fault_seed=fault_seed
+        )
+        if check_random_instances:
+            rng = random.Random(seed)
+            task = disjointness_task(n, k)
+            inputs = random_instance(n, k, rng)
+            if kernels.use_vectorized():
+                checks = (
+                    ("OptimalDisjointnessProtocol",
+                     kernels.simulate_optimal_disjointness),
+                    ("NaiveDisjointnessProtocol",
+                     kernels.simulate_naive_disjointness),
                 )
+                for name, simulate in checks:
+                    _bits, output = simulate(n, k, inputs)
+                    if output != task.evaluate(inputs):
+                        raise AssertionError(
+                            f"{name} wrong on random instance"
+                        )
+            else:
+                for protocol_cls in (
+                    OptimalDisjointnessProtocol, NaiveDisjointnessProtocol,
+                ):
+                    outcome = run_protocol(protocol_cls(n, k), inputs)
+                    if outcome.output != task.evaluate(inputs):
+                        raise AssertionError(
+                            f"{protocol_cls.__name__} wrong on random "
+                            "instance"
+                        )
     return bits
 
 
@@ -155,8 +227,16 @@ def run(
     transport: str = "memory",
     store: Optional[ResultStore] = None,
     fault_seed: Optional[int] = None,
+    kernel: Optional[str] = None,
+    quick: bool = False,
 ) -> ExperimentTable:
     """Run the E1 sweep and return the result table.
+
+    ``quick`` (``--quick`` on the CLI) swaps the default grid for
+    :data:`CLASSIC_GRID` — the pre-extension points every backend
+    completes in seconds.  Use it for networked-transport sweeps, where
+    framing every message of the extended points costs tens of minutes.
+    An explicitly passed ``grid`` always wins.
 
     ``fault_seed`` (with ``transport="loopback"``) injects the seeded
     recoverable chaos plan into every networked execution; the table
@@ -180,7 +260,20 @@ def run(
     measured bits are pure functions of ``(n, k)``, so neither the
     transport nor the random-instance checks participate in the cell
     address and the cached table is byte-identical to a cold run.
+
+    ``kernel`` (``--kernel`` on the CLI) selects the exact-computation
+    engine: ``"vectorized"`` (the default with numpy installed) replays
+    the protocols through the :mod:`repro.perf.kernels` simulators,
+    ``"legacy"`` forces the message-level runner.  Measured bits are
+    bit-identical either way, so the kernel does not participate in the
+    store cell address.
     """
+    if quick and grid is DEFAULT_GRID:
+        grid = CLASSIC_GRID
+    if kernel is not None and kernel not in kernels.KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {kernels.KERNELS}"
+        )
     if transport not in E1_TRANSPORTS:
         raise ValueError(
             f"unknown transport {transport!r}; expected one of "
@@ -206,6 +299,7 @@ def run(
             check_random_instances=check_random_instances,
             transport=transport,
             fault_seed=fault_seed,
+            kernel=kernel,
         ),
         list(grid),
         store=store,

@@ -88,6 +88,11 @@ def mutual_information(
     which is numerically more robust than the entropy difference when the
     conditional distributions are nearly deterministic.
     """
+    from ..perf import kernels
+
+    fast = kernels.mutual_information_fast(joint, a, b)
+    if fast is not None:
+        return fast
     pa = joint.marginal(a)
     pb = joint.marginal(b)
     # Build the joint over (group_a, group_b) explicitly so that ``a`` and
@@ -122,6 +127,11 @@ def conditional_mutual_information(
     Computed as :math:`\\mathbb{E}_{c}\\, I(A; B \\mid C = c)`, which is the
     form used throughout the paper's Section 4 analysis.
     """
+    from ..perf import kernels
+
+    fast = kernels.conditional_mutual_information_fast(joint, a, b, given)
+    if fast is not None:
+        return fast
     given_marginal = joint.marginal(given)
     total = 0.0
     for value, p in given_marginal.items():

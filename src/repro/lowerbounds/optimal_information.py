@@ -63,6 +63,11 @@ def _minimum_entropy(
     """
     z_count = len(conditional_masses)
 
+    from ..perf import kernels
+
+    if kernels.minimum_entropy_supported(k, z_count):
+        return kernels.minimum_entropy(k, evaluate, conditional_masses)
+
     @functools.lru_cache(maxsize=None)
     def rect_mass(rectangle: Tuple[int, ...], z: int) -> float:
         mass = 1.0

@@ -108,6 +108,14 @@ def per_player_divergence_sum(joint: JointDistribution, k: int) -> float:
     z_index = names.index("aux")
     t_index = names.index("transcript")
 
+    from ..perf import kernels
+
+    fast = kernels.per_player_divergence_sum_fast(
+        joint, k, x_index, z_index, t_index
+    )
+    if fast is not None:
+        return fast
+
     # One pass: accumulate per-(transcript, z) and per-z masses of each
     # player's bit, from which all posteriors/priors follow.
     pair_mass = {}        # (t, z) -> total probability

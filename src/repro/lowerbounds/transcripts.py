@@ -131,12 +131,46 @@ def analyze_good_transcripts(
             transcripts.setdefault(transcript)
 
     input_values = [[zero, one]] * k
+
+    # Vectorized Lemma 3 fast path: with 0/1 inputs the per-transcript
+    # factors tabulate as a (k, 2) array and each class-conditioned
+    # probability is one product-reduction over the class matrix —
+    # bit-identical to the per-input scalar fold (same multiplication
+    # and summation order).
+    from ..perf import kernels
+
+    np_ = None
+    x2_matrix = x3_matrix = None
+    if kernels.use_vectorized() and zero == 0 and one == 1:
+        np_ = kernels.require_numpy()
+        x2_matrix = np_.array(two_zero_inputs, dtype=np_.int64)
+        x3_matrix = np_.array(three_zero_inputs, dtype=np_.int64)
+
     classifications: List[TranscriptClassification] = []
     mass_L = mass_B0 = mass_B1 = mass_L_prime = 0.0
     for transcript in transcripts:
         factors = transcript_factors(protocol, transcript, input_values)
-        pi2 = _class_conditioned_probability(factors, two_zero_inputs)
-        pi3 = _class_conditioned_probability(factors, three_zero_inputs)
+        factor_table = None
+        if x2_matrix is not None:
+            try:
+                factor_table = [
+                    np_.array(
+                        [factor[zero], factor[one]], dtype=np_.float64
+                    )
+                    for factor in factors.factors
+                ]
+            except KeyError:
+                factor_table = None
+        if factor_table is not None:
+            pi2 = kernels.class_conditioned_probabilities(
+                factor_table, x2_matrix
+            )
+            pi3 = kernels.class_conditioned_probabilities(
+                factor_table, x3_matrix
+            )
+        else:
+            pi2 = _class_conditioned_probability(factors, two_zero_inputs)
+            pi3 = _class_conditioned_probability(factors, three_zero_inputs)
         all_ones = factors.probability(tuple([one] * k))
         state = protocol.replay_state(transcript)
         output = protocol.output(state, transcript)

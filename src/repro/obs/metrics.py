@@ -58,6 +58,9 @@ Metric naming used by the instrumented subsystems:
 ``store_evictions``                   entries evicted by ``gc``
 ``grid_tasks``                        sweep tasks submitted, by mode
 ``grid_workers`` (gauge)              worker-pool size of the last sweep
+``grid_shm_bytes``                    result bytes received from workers
+                                      via shared-memory segments
+``kernel_vectorized_calls``           vectorized-kernel invocations, by op
 ``experiment_seconds`` (gauge)        wall time per experiment (CLI)
 ====================================  =======================================
 

@@ -38,6 +38,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from . import shm
 from ..obs.metrics import REGISTRY, MetricsSnapshot, enable_metrics
 from ..obs.telemetry import TelemetrySink, get_telemetry, using_telemetry
 from ..obs.trace import (
@@ -84,6 +85,7 @@ def _execute_task(
     collect_metrics: bool,
     trace_ctx: Optional[TraceContext] = None,
     collect_telemetry: bool = False,
+    shm_transport: bool = False,
 ) -> Tuple[
     int,
     Any,
@@ -132,6 +134,11 @@ def _execute_task(
         else:
             result = fn(item) if seed is None else fn(item, seed)
     elapsed = time.perf_counter() - started
+    if shm_transport:
+        # Large array payloads travel via shared memory; the pickled
+        # result then carries only tokens (anything that cannot be
+        # exported falls back to plain pickling inside pack_result).
+        result = shm.pack_result(result)
     snapshot = REGISTRY.snapshot() if collect_metrics else None
     telemetry_summary: Optional[Dict[str, Any]] = None
     if worker_sink is not None:
@@ -167,6 +174,7 @@ def map_grid(
     tracer: Optional[Tracer] = None,
     on_result: Optional[Callable[[int, Any], None]] = None,
     label_workers: bool = False,
+    shm_transport: bool = True,
 ) -> List[Any]:
     """Evaluate ``fn`` over ``items``, optionally across processes.
 
@@ -198,6 +206,15 @@ def map_grid(
         (dense first-seen index, not pid) so per-worker skew is visible
         in reports.  Off by default: unlabeled merges are byte-identical
         to the pre-label format.
+    shm_transport:
+        When true (the default) and running in parallel, workers ship
+        large numpy-array result payloads through
+        :mod:`multiprocessing.shared_memory` segments instead of the
+        result pipe (see :mod:`repro.perf.shm`); everything else — and
+        every platform without shared memory — uses plain pickling.
+        Received shared bytes are counted on ``grid_shm_bytes``, and any
+        segment orphaned by a crashed worker is swept when the pool
+        shuts down.
 
     Returns
     -------
@@ -254,59 +271,76 @@ def map_grid(
         ordered: List[Any] = [None] * len(items)
         snapshots: List[Optional[MetricsSnapshot]] = [None] * len(items)
         worker_ids: List[Optional[int]] = [None] * len(items)
+        use_shm = bool(shm_transport)
+        shm_bytes = 0
         with tracer.span("map_grid", tasks=len(items), workers=count):
             trace_ctx = tracer.current_context() if tracer else None
-            with ProcessPoolExecutor(max_workers=count) as executor:
-                futures = [
-                    executor.submit(
-                        _execute_task,
-                        fn,
-                        index,
-                        item,
-                        seeds[index],
-                        collect_metrics,
-                        trace_ctx,
-                        bool(telemetry),
-                    )
-                    for index, item in enumerate(items)
-                ]
-                # Resolve in submission order: result ordering — and
-                # which task's exception surfaces first — is then
-                # deterministic.
-                for future in futures:
-                    (
-                        index, result, snapshot, events, pid, elapsed,
-                        task_telemetry,
-                    ) = future.result()
-                    ordered[index] = result
-                    snapshots[index] = snapshot
-                    worker_ids[index] = pid
-                    if on_result is not None:
-                        on_result(index, result)
-                    if tracer:
-                        # Replay the worker's records into the parent's
-                        # sink; submission order keeps the trace file
-                        # deterministic in structure.
-                        for record in events:
-                            tracer.emit(TraceEvent.from_dict(record))
-                        tracer.event("grid_task_done", index=index)
-                    if telemetry:
-                        if task_telemetry is not None:
-                            for kind, count in task_telemetry[
-                                "faults"
-                            ].items():
-                                telemetry.faults[kind] = (
-                                    telemetry.faults.get(kind, 0) + count
-                                )
-                            telemetry.retries += task_telemetry["retries"]
-                            telemetry.wire_bytes += task_telemetry[
-                                "bytes_on_wire"
-                            ]
-                        telemetry.cell_done(
-                            worker=str(pid),
-                            elapsed_s=elapsed,
-                            recomputed=True,
+            try:
+                with ProcessPoolExecutor(max_workers=count) as executor:
+                    futures = [
+                        executor.submit(
+                            _execute_task,
+                            fn,
+                            index,
+                            item,
+                            seeds[index],
+                            collect_metrics,
+                            trace_ctx,
+                            bool(telemetry),
+                            use_shm,
                         )
+                        for index, item in enumerate(items)
+                    ]
+                    # Resolve in submission order: result ordering — and
+                    # which task's exception surfaces first — is then
+                    # deterministic.
+                    for future in futures:
+                        (
+                            index, result, snapshot, events, pid, elapsed,
+                            task_telemetry,
+                        ) = future.result()
+                        if use_shm:
+                            result, received = shm.unpack_result(result)
+                            shm_bytes += received
+                        ordered[index] = result
+                        snapshots[index] = snapshot
+                        worker_ids[index] = pid
+                        if on_result is not None:
+                            on_result(index, result)
+                        if tracer:
+                            # Replay the worker's records into the
+                            # parent's sink; submission order keeps the
+                            # trace file deterministic in structure.
+                            for record in events:
+                                tracer.emit(TraceEvent.from_dict(record))
+                            tracer.event("grid_task_done", index=index)
+                        if telemetry:
+                            if task_telemetry is not None:
+                                for kind, count in task_telemetry[
+                                    "faults"
+                                ].items():
+                                    telemetry.faults[kind] = (
+                                        telemetry.faults.get(kind, 0) + count
+                                    )
+                                telemetry.retries += task_telemetry[
+                                    "retries"
+                                ]
+                                telemetry.wire_bytes += task_telemetry[
+                                    "bytes_on_wire"
+                                ]
+                            telemetry.cell_done(
+                                worker=str(pid),
+                                elapsed_s=elapsed,
+                                recomputed=True,
+                            )
+            finally:
+                if use_shm:
+                    # A worker killed between exporting a segment and
+                    # delivering its token leaks it; sweep by prefix now
+                    # that the pool is gone.
+                    shm.sweep_orphans(os.getpid())
+        if reg is not None and use_shm and shm_bytes:
+            reg.counter("grid_shm_bytes").inc(shm_bytes)
         if reg is not None:
             # Dense first-seen worker indices: label values must not
             # leak pids (they vary run to run) into reports.

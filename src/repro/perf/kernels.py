@@ -1,0 +1,1138 @@
+"""Vectorized exact-computation kernels (numpy-backed, bit-identical).
+
+The exact analyzers walk protocol trees, rectangle lattices, and joint
+laws one Python object at a time; this module re-expresses the hot loops
+over numpy arrays **without changing a single bit of any result**.  Every
+kernel here is a drop-in replacement for a specific legacy loop and is
+pinned bit-identical to it by ``tests/perf/test_kernels.py`` — the dict
+APIs stay the source of truth, the arrays are just a faster engine.
+
+Bit-identity contract
+---------------------
+IEEE-754 elementwise array arithmetic (``*``, ``/``, ``+`` on float64)
+is correctly rounded and therefore matches CPython scalar arithmetic
+exactly.  Three operations are *not* automatically identical and are
+handled explicitly everywhere:
+
+* **Transcendentals** — ``np.log2`` may differ from ``math.log2`` by an
+  ulp.  Kernels never call numpy transcendentals; they deduplicate the
+  argument array (``np.unique``) and evaluate the scalar function once
+  per distinct value (:func:`_exact_log2`, :func:`_exact_binary_entropy`).
+* **Reductions** — ``np.sum`` uses pairwise summation; the legacy code
+  folds left-to-right.  Ordered reductions go through
+  :func:`ordered_sum`, a Python fold over ``ndarray.tolist()``.
+  Two-term sums are exempt: IEEE addition is commutative bit-for-bit.
+* **Ordering** — dict iteration order is first-seen insertion order.
+  Group-bys reconstruct it from ``np.unique(..., return_index=...)``
+  plus a stable argsort of the first-occurrence indices.
+
+Kernel switch
+-------------
+:func:`get_kernel` resolves the active kernel: an explicit
+:func:`set_kernel` choice wins, otherwise ``"vectorized"`` when numpy is
+importable and ``"legacy"`` when it is not.  Call sites gate their fast
+path on :func:`use_vectorized` and always keep the legacy loop as the
+fallback — the fallback is also the reference the differential oracle
+(``repro.check.oracles`` ``vectorized-vs-legacy``) replays.
+
+numpy is a declared dependency (``pyproject.toml``: ``numpy>=1.21``)
+but is imported lazily through this module only, so ``repro`` still
+imports — and every analyzer still runs, via the legacy paths — on an
+interpreter without it.  Requesting the vectorized kernel explicitly
+without numpy raises the one clear error from :func:`require_numpy`.
+
+Observability: each kernel invocation increments the
+``kernel_vectorized_calls`` counter (labeled ``op=...``) when metrics
+collection is enabled.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..information.entropy import binary_entropy
+from ..obs.metrics import REGISTRY
+
+__all__ = [
+    "numpy_available",
+    "require_numpy",
+    "get_kernel",
+    "set_kernel",
+    "using_kernel",
+    "use_vectorized",
+    "KERNELS",
+    "ordered_sum",
+    "tree_walk_sorted_leaves",
+    "entropy_fast",
+    "kl_divergence_fast",
+    "mutual_information_fast",
+    "conditional_mutual_information_fast",
+    "class_conditioned_probabilities",
+    "per_player_divergence_sum_fast",
+    "minimum_entropy_supported",
+    "minimum_entropy",
+    "simulate_trivial_disjointness",
+    "simulate_naive_disjointness",
+    "simulate_optimal_disjointness",
+]
+
+#: The recognized kernel names (the ``--kernel`` CLI vocabulary).
+KERNELS = ("legacy", "vectorized")
+
+#: Joint laws with fewer outcomes than this run the legacy loops — array
+#: setup costs more than it saves on tiny supports.  Tests monkeypatch
+#: this to 0 to force the fast paths onto small fixtures.
+_VECTOR_MIN_SUPPORT = 64
+
+#: Ceiling on ``3**k * z_count`` for the vectorized E14 rectangle DP
+#: (the dense mass table is one float64 per (z, rectangle) cell).
+_E14_CELL_CAP = 8_000_000
+
+#: Mixed-radix lineage codes in the tree walk spill into a frozen column
+#: once the running radix product would exceed this many bits (int64 is
+#: signed, so 62 leaves headroom for the final multiply).  Tests
+#: monkeypatch this down to force the spill path on small protocols.
+_LINEAGE_BITS = 62
+
+_NUMPY_UNRESOLVED = object()
+_numpy: Any = _NUMPY_UNRESOLVED
+
+_KERNEL: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# numpy guard
+# ----------------------------------------------------------------------
+def _resolve_numpy() -> Any:
+    global _numpy
+    if _numpy is _NUMPY_UNRESOLVED:
+        try:
+            import numpy  # noqa: PLC0415 - the one lazy import site
+
+            _numpy = numpy
+        except ImportError:
+            _numpy = None
+    return _numpy
+
+
+def numpy_available() -> bool:
+    """Whether numpy can be imported (checked once, cached)."""
+    return _resolve_numpy() is not None
+
+
+def require_numpy() -> Any:
+    """Return the numpy module, or raise the one canonical error.
+
+    numpy is a declared dependency (``pyproject.toml`` lists
+    ``numpy>=1.21``) but the legacy kernels run without it; only an
+    explicit request for the vectorized kernel hits this guard.
+    """
+    np_ = _resolve_numpy()
+    if np_ is None:
+        raise ImportError(
+            "the 'vectorized' kernel requires numpy, which could not be "
+            "imported; install the declared dependency (pyproject.toml: "
+            "numpy>=1.21) or select the 'legacy' kernel"
+        )
+    return np_
+
+
+# ----------------------------------------------------------------------
+# Kernel switch
+# ----------------------------------------------------------------------
+def get_kernel() -> str:
+    """The active kernel name: an explicit :func:`set_kernel` choice, or
+    ``"vectorized"`` when numpy is available and ``"legacy"`` otherwise."""
+    if _KERNEL is not None:
+        return _KERNEL
+    return "vectorized" if numpy_available() else "legacy"
+
+
+def set_kernel(name: Optional[str]) -> None:
+    """Select the kernel process-wide.
+
+    ``None`` restores automatic resolution.  Selecting ``"vectorized"``
+    validates that numpy is importable (:func:`require_numpy`) so a bad
+    environment fails at selection time, not mid-sweep.
+    """
+    global _KERNEL
+    if name is not None and name not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {KERNELS} or None"
+        )
+    if name == "vectorized":
+        require_numpy()
+    _KERNEL = name
+
+
+@contextmanager
+def using_kernel(name: Optional[str]):
+    """Context manager form of :func:`set_kernel`; ``None`` is a no-op
+    (keeps whatever is active), any name is restored on exit."""
+    global _KERNEL
+    if name is None:
+        yield
+        return
+    previous = _KERNEL
+    set_kernel(name)
+    try:
+        yield
+    finally:
+        _KERNEL = previous
+
+
+def use_vectorized() -> bool:
+    """True when call sites should take their vectorized fast path."""
+    return get_kernel() == "vectorized" and numpy_available()
+
+
+def _count_call(op: str) -> None:
+    if REGISTRY.enabled:
+        REGISTRY.counter("kernel_vectorized_calls").inc(1, op=op)
+
+
+# ----------------------------------------------------------------------
+# Exact-arithmetic helpers
+# ----------------------------------------------------------------------
+def ordered_sum(values: Any) -> float:
+    """Left-to-right fold of a 1-D float64 array, starting from ``0.0``
+    — bit-identical to ``sum()`` over the same values in the same order
+    (``0.0 + x == x`` exactly for every finite non-negative ``x``, and
+    for the first term of any legacy ``sum`` the int-0 start coerces to
+    the same ``0.0 + x``)."""
+    total = 0.0
+    for value in values.tolist():
+        total += value
+    return total
+
+
+def _exact_log2(np_: Any, values: Any) -> Any:
+    """``math.log2`` applied elementwise, via deduplication — numpy's
+    ``log2`` is not guaranteed ulp-identical to the C library call the
+    legacy scalar loops make."""
+    uniq, inverse = np_.unique(values, return_inverse=True)
+    lut = np_.array([math.log2(v) for v in uniq.tolist()], dtype=np_.float64)
+    return lut[inverse]
+
+
+def _exact_binary_entropy(np_: Any, values: Any) -> Any:
+    """:func:`repro.information.entropy.binary_entropy` elementwise, via
+    deduplication (same ulp argument as :func:`_exact_log2`)."""
+    uniq, inverse = np_.unique(values, return_inverse=True)
+    lut = np_.array(
+        [binary_entropy(v) for v in uniq.tolist()], dtype=np_.float64
+    )
+    return lut[inverse]
+
+
+def _first_seen_codes(np_: Any, values: Any) -> Tuple[Any, Any, int]:
+    """Dense codes in **first-seen** order for an integer array.
+
+    Returns ``(fs_codes, originals_in_fs_order, count)`` where
+    ``originals_in_fs_order[rank]`` is the input value that received
+    ``rank`` — reproducing dict-insertion group order from sorted
+    ``np.unique`` output.
+    """
+    uniq, first_idx, inverse = np_.unique(
+        values, return_index=True, return_inverse=True
+    )
+    order = np_.argsort(first_idx, kind="stable")
+    rank = np_.empty(len(uniq), dtype=np_.int64)
+    rank[order] = np_.arange(len(uniq), dtype=np_.int64)
+    return rank[inverse], uniq[order], len(uniq)
+
+
+def _encode_column(np_: Any, items: List[Tuple[Any, float]], index: int):
+    """First-seen dense codes of ``outcome[index]`` over a joint law's
+    item list, plus the decoded value list (code -> original value)."""
+    codes = np_.empty(len(items), dtype=np_.int64)
+    table: Dict[Any, int] = {}
+    values: List[Any] = []
+    for row, (outcome, _p) in enumerate(items):
+        value = outcome[index]
+        code = table.get(value)
+        if code is None:
+            code = table[value] = len(values)
+            values.append(value)
+        codes[row] = code
+    return codes, values
+
+
+# ----------------------------------------------------------------------
+# Batched protocol-tree walk (core.tree pass 2)
+# ----------------------------------------------------------------------
+def tree_walk_sorted_leaves(
+    protocol: Any,
+    input_keys: Sequence[Tuple[Any, ...]],
+    *,
+    max_messages: int,
+    memo: Optional[Any] = None,
+) -> Tuple[Tuple[List[int], List[Any], List[float]], int, int, int]:
+    """One shared level-synchronous walk of the protocol tree over a
+    population of input tuples, vectorized over the population.
+
+    Returns ``(leaf_table, nodes_expanded, union_leaves, max_depth)``
+    where ``leaf_table = (counts, boards, probabilities)`` concatenates
+    every input's leaf entries in input order — ``counts[j]`` rows for
+    ``input_keys[j]`` — **already in the legacy post-sort order**
+    (descending lexicographic child-index path — the order the per-input
+    DFS of ``transcript_distribution`` emits leaves in), so the caller's
+    accumulation into a dict reproduces the legacy float sums exactly.
+    Flat parallel lists keep the assembly a pair of C-level gathers with
+    no per-row Python object construction.
+
+    The walk batches *every node of a depth level* into single
+    index/probability/path arrays: one composite-key stable sort
+    partitions all nodes of the level at once (each block's order within
+    a node is recovered from its first member, matching the legacy
+    dict-insertion partition order), and the next level's arrays are
+    built with one concatenate plus one elementwise multiply.  Path
+    columns are only materialized at levels where some partition has two
+    or more positive outcomes — at any other level a member cannot fork,
+    so the column could never decide the within-member leaf order.
+    """
+    # Local import: core.model is import-safe from here (the model layer
+    # never imports repro.perf).
+    from ..core.model import Message, ProtocolViolation, Transcript
+
+    np_ = require_numpy()
+    _count_call("tree_walk")
+
+    m = len(input_keys)
+    k = protocol.num_players
+    # Per-column integer codes.  Any per-column numbering works:
+    # partition *order* is recovered from first-member positions and a
+    # partition's speaker input is fetched from the original tuple of
+    # its first member, so the codes never reach a protocol hook.
+    numeric = None
+    try:
+        candidate = np_.asarray(input_keys)
+        if candidate.shape == (m, k) and candidate.dtype.kind in ("i", "u"):
+            numeric = candidate.astype(np_.int64, copy=False)
+    except (TypeError, ValueError):
+        numeric = None
+    if numeric is not None:
+        vmin = int(numeric.min()) if m else 0
+        vmax = int(numeric.max()) if m else 0
+        if vmax - vmin < (1 << 20):
+            # Small value range: use the (shifted) values directly and
+            # skip the per-column group-by entirely.
+            codes = numeric - vmin if vmin else numeric
+            span = vmax - vmin + 1 if m else 1
+        else:
+            codes = np_.empty((m, k), dtype=np_.int64)
+            for j in range(k):
+                codes[:, j] = np_.unique(
+                    numeric[:, j], return_inverse=True
+                )[1]
+            span = int(codes.max()) + 1 if m else 1
+    else:
+        codes = np_.empty((m, k), dtype=np_.int64)
+        for j in range(k):
+            table: Dict[Any, int] = {}
+            column = codes[:, j]
+            for row, key in enumerate(input_keys):
+                value = key[j]
+                code = table.get(value)
+                if code is None:
+                    code = table[value] = len(table)
+                column[row] = code
+        span = int(codes.max()) + 1 if m else 1
+
+    # Leaf records: (board, member indices, probabilities, frozen spill
+    # columns, lineage codes, lineage scale at the leaf).
+    leaf_records: List[Tuple[Any, Any, Any, List[Any], Any, int]] = []
+    nodes_expanded = 0
+    max_depth = 0
+    num_players = protocol.num_players
+    frontier: List[Tuple[Any, Any]] = [
+        (protocol.initial_state(), Transcript())
+    ]
+    sizes: List[int] = [m]
+    A_idx = np_.arange(m, dtype=np_.int64)
+    A_probs = np_.ones(m, dtype=np_.float64)
+    # A row's child-index path is carried as ONE int64 "lineage" code:
+    # the MSB-first mixed-radix encoding of the indices chosen at
+    # branching levels (levels where some partition had two or more
+    # positive outcomes — at any other level a member cannot fork, so
+    # the index could never decide the within-member leaf order).
+    # Numeric order of lineage codes == lexicographic order of the
+    # index paths.  If the running radix product would overflow
+    # 2**_LINEAGE_BITS, the live codes are frozen into a "spill" column
+    # and the lineage restarts; the final sort keys on the spills in
+    # freeze order, then the live code.
+    A_lin = np_.zeros(m, dtype=np_.int64)
+    A_spills: List[Any] = []
+    lin_scale = 1
+    epoch_scales: List[int] = []
+    level = 0
+    while frontier:
+        # Every node at this level has written exactly `level` messages,
+        # so the depth bookkeeping is once per level, not per node.
+        if level > max_messages:
+            raise ProtocolViolation(
+                f"protocol exceeded {max_messages} messages during exact "
+                "enumeration"
+            )
+        if level > max_depth:
+            max_depth = level
+        nodes_expanded += len(frontier)
+        active: List[Tuple[Any, Any, int, int, int]] = []
+        lo = 0
+        for i, (state, board) in enumerate(frontier):
+            hi = lo + sizes[i]
+            speaker = protocol.next_speaker(state, board)
+            if speaker is None:
+                leaf_records.append(
+                    (
+                        board,
+                        A_idx[lo:hi],
+                        A_probs[lo:hi],
+                        [spill[lo:hi] for spill in A_spills],
+                        A_lin[lo:hi],
+                        lin_scale,
+                    )
+                )
+            elif not 0 <= speaker < num_players:
+                raise ProtocolViolation(
+                    f"next_speaker returned invalid player {speaker!r}"
+                )
+            else:
+                active.append((state, board, lo, hi, speaker))
+            lo = hi
+        if not active:
+            break
+        if len(active) == len(frontier):
+            act_idx, act_probs, act_lin = A_idx, A_probs, A_lin
+            act_spills = A_spills
+        else:
+            act_idx = np_.concatenate([A_idx[a[2]:a[3]] for a in active])
+            act_probs = np_.concatenate([A_probs[a[2]:a[3]] for a in active])
+            act_lin = np_.concatenate([A_lin[a[2]:a[3]] for a in active])
+            act_spills = [
+                np_.concatenate([spill[a[2]:a[3]] for a in active])
+                for spill in A_spills
+            ]
+        act_sizes = np_.array([a[3] - a[2] for a in active], dtype=np_.int64)
+        total = int(act_idx.shape[0])
+        # One composite-key stable sort partitions every active node at
+        # once.  Stability keeps rows in insertion order inside each
+        # block, so a block's first row is the partition's first member
+        # — which both orders the blocks (the legacy partitions-dict
+        # insertion order) and supplies the speaker's original input.
+        key = np_.repeat(
+            np_.arange(len(active), dtype=np_.int64) * span, act_sizes
+        )
+        key += codes[
+            act_idx,
+            np_.repeat(
+                np_.array([a[4] for a in active], dtype=np_.int64),
+                act_sizes,
+            ),
+        ]
+        if total > 1 and not bool((key[1:] >= key[:-1]).all()):
+            perm = np_.argsort(key, kind="stable")
+            key_s = key[perm]
+            idx_s = act_idx[perm]
+            probs_s = act_probs[perm]
+            lin_s = act_lin[perm]
+            spills_s = [spill[perm] for spill in act_spills]
+        else:
+            # Already partitioned (common at non-forking levels): skip
+            # the sort and the gathers outright.
+            perm = None
+            key_s = key
+            idx_s, probs_s, lin_s = act_idx, act_probs, act_lin
+            spills_s = act_spills
+        if total == 0:
+            starts_l: List[int] = []
+            ends_l: List[int] = []
+            block_node_l: List[int] = []
+            first_pos_l: List[int] = []
+        else:
+            if total == 1:
+                starts_arr = np_.zeros(1, dtype=np_.int64)
+                ends_l = [1]
+            else:
+                bounds = np_.flatnonzero(key_s[1:] != key_s[:-1]) + 1
+                starts_arr = np_.concatenate(
+                    [np_.zeros(1, dtype=np_.int64), bounds]
+                )
+                ends_l = bounds.tolist() + [total]
+            starts_l = starts_arr.tolist()
+            block_node_l = (key_s[starts_arr] // span).tolist()
+            first_pos_l = (
+                starts_l if perm is None else perm[starts_arr].tolist()
+            )
+        nxt_frontier: List[Tuple[Any, Any]] = []
+        nxt_sizes: List[int] = []
+        idx_slices: List[Any] = []
+        prob_slices: List[Any] = []
+        lin_slices: List[Any] = []
+        spill_slices: List[List[Any]] = [[] for _ in A_spills]
+        mults: List[float] = []
+        col_vals: List[int] = []
+        seg_lens: List[int] = []
+        branched = False
+        block = 0
+        n_blocks = len(starts_l)
+        for r, (state, board, _lo, _hi, speaker) in enumerate(active):
+            first = block
+            while block < n_blocks and block_node_l[block] == r:
+                block += 1
+            node_blocks = list(range(first, block))
+            if len(node_blocks) > 1:
+                node_blocks.sort(key=first_pos_l.__getitem__)
+            # children: bits -> [Message, [(lo, hi, p, index), ...]]
+            children: Dict[str, List[Any]] = {}
+            for t in node_blocks:
+                blo = starts_l[t]
+                speaker_input = input_keys[int(idx_s[blo])][speaker]
+                if memo is not None:
+                    dist = memo.distribution(
+                        protocol, state, speaker, speaker_input, board
+                    )
+                else:
+                    dist = protocol.message_distribution(
+                        state, speaker, speaker_input, board
+                    )
+                positive = 0
+                for index, (bits, p) in enumerate(dist.items()):
+                    if p <= 0.0:
+                        continue
+                    if bits == "":
+                        raise ProtocolViolation(
+                            "protocols may not write empty messages"
+                        )
+                    positive += 1
+                    child = children.get(bits)
+                    if child is None:
+                        child = children[bits] = [
+                            Message(speaker=speaker, bits=bits), [],
+                        ]
+                    child[1].append((blo, ends_l[t], p, index))
+                if positive > 1:
+                    branched = True
+            for _bits, (message, segs) in children.items():
+                nxt_frontier.append(
+                    (
+                        protocol.advance_state(state, message),
+                        board.extend(message),
+                    )
+                )
+                size = 0
+                for blo, bhi, p, index in segs:
+                    idx_slices.append(idx_s[blo:bhi])
+                    prob_slices.append(probs_s[blo:bhi])
+                    lin_slices.append(lin_s[blo:bhi])
+                    for parts, spill in zip(spill_slices, spills_s):
+                        parts.append(spill[blo:bhi])
+                    mults.append(p)
+                    col_vals.append(index)
+                    seg_lens.append(bhi - blo)
+                    size += bhi - blo
+                nxt_sizes.append(size)
+        frontier = nxt_frontier
+        sizes = nxt_sizes
+        level += 1
+        if not frontier:
+            break
+        # Next level's arrays: one concatenate per array plus a single
+        # elementwise multiply — per element this is the same float64
+        # `prob * p` product the legacy walk computes.
+        if len(idx_slices) == 1:
+            A_idx = idx_slices[0]
+            A_probs = prob_slices[0] * mults[0]
+            base_lin = lin_slices[0]
+            A_spills = [parts[0] for parts in spill_slices]
+            lens = None
+        else:
+            A_idx = np_.concatenate(idx_slices)
+            lens = np_.array(seg_lens, dtype=np_.int64)
+            mult = np_.repeat(np_.array(mults, dtype=np_.float64), lens)
+            A_probs = np_.concatenate(prob_slices) * mult
+            base_lin = np_.concatenate(lin_slices)
+            A_spills = [np_.concatenate(parts) for parts in spill_slices]
+        if branched:
+            radix = max(col_vals) + 1
+            if lin_scale * radix > (1 << _LINEAGE_BITS):
+                A_spills = A_spills + [base_lin]
+                epoch_scales.append(lin_scale)
+                base_lin = np_.zeros(base_lin.shape[0], dtype=np_.int64)
+                lin_scale = 1
+            if lens is None:
+                A_lin = base_lin * radix + col_vals[0]
+            else:
+                A_lin = base_lin * radix + np_.repeat(
+                    np_.array(col_vals, dtype=np_.int64), lens
+                )
+            lin_scale *= radix
+        else:
+            A_lin = base_lin
+
+    if not leaf_records:
+        return ([0] * m, [], []), nodes_expanded, 0, max_depth
+    union_leaves = len(leaf_records)
+    epoch_scales.append(lin_scale)
+    n_epochs = len(epoch_scales)
+    boards_arr = np_.empty(union_leaves, dtype=object)
+    for leaf_index, record in enumerate(leaf_records):
+        boards_arr[leaf_index] = record[0]
+    member = np_.concatenate([record[1] for record in leaf_records])
+    prob_all = np_.concatenate([record[2] for record in leaf_records])
+    leaf_of = np_.repeat(
+        np_.arange(union_leaves, dtype=np_.int64),
+        np_.array(
+            [record[1].shape[0] for record in leaf_records], dtype=np_.int64
+        ),
+    )
+    member_counts = np_.bincount(member, minlength=m)
+    if (
+        (n_epochs == 1 and epoch_scales[0] == 1)
+        or int(member_counts.max()) == 1
+    ):
+        # Deterministic-per-member case: no level ever branched (or each
+        # input reaches exactly one leaf), so there is nothing to order
+        # within a member and the lineage codes never influence the
+        # result — group by member only.
+        order = np_.argsort(member, kind="stable")
+    else:
+        # One int64 column per lineage epoch.  A record that ended in an
+        # earlier epoch pads its later columns with zero, and its live
+        # code is rescaled to the epoch's final radix product (an exact
+        # integer multiply: the record's scale divides the epoch scale).
+        # Two leaves of one member always diverge at some branched level
+        # both were alive for, so their codes differ in the shared
+        # digits and the padding never decides an order — the same
+        # prefix-tie-impossibility the legacy tuple sort relies on.
+        lin_mat = np_.zeros((member.shape[0], n_epochs), dtype=np_.int64)
+        row = 0
+        for record in leaf_records:
+            rows = record[1].shape[0]
+            spills = record[3]
+            for e, spill in enumerate(spills):
+                lin_mat[row:row + rows, e] = spill
+            e_rec = len(spills)
+            factor = epoch_scales[e_rec] // record[5]
+            if factor == 1:
+                lin_mat[row:row + rows, e_rec] = record[4]
+            else:
+                lin_mat[row:row + rows, e_rec] = record[4] * factor
+            row += rows
+        # Primary key: member ascending; then lineage descending
+        # (negated columns, most-significant epoch first — np.lexsort
+        # treats the *last* key as primary).  Normally n_epochs == 1 so
+        # this is a two-key sort.
+        sort_keys = [-lin_mat[:, e] for e in range(n_epochs - 1, -1, -1)]
+        sort_keys.append(member)
+        order = np_.lexsort(tuple(sort_keys))
+    # Rows are now contiguous per member; one object-dtype gather plus
+    # C-level zips assembles every per-input leaf list without a
+    # per-row Python loop.
+    boards_sorted = boards_arr[leaf_of[order]].tolist()
+    probs_sorted = prob_all[order].tolist()
+    counts = member_counts.tolist()
+    return (
+        (counts, boards_sorted, probs_sorted),
+        nodes_expanded,
+        union_leaves,
+        max_depth,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entropy / KL fast paths (information layer)
+# ----------------------------------------------------------------------
+def entropy_fast(probs: Dict[Any, float]) -> Optional[float]:
+    """Vectorized Shannon entropy of a support dict, or ``None`` when the
+    fast path should not engage.  Bit-identical to
+    ``-sum(p * math.log2(p) for p in values)`` in dict order."""
+    if not use_vectorized() or len(probs) < _VECTOR_MIN_SUPPORT:
+        return None
+    np_ = require_numpy()
+    _count_call("entropy")
+    values = np_.fromiter(probs.values(), dtype=np_.float64, count=len(probs))
+    terms = values * _exact_log2(np_, values)
+    return -ordered_sum(terms)
+
+
+def kl_divergence_fast(posterior: Any, prior: Any) -> Optional[float]:
+    """Vectorized KL divergence (Definition 4), or ``None`` to fall back.
+
+    Matches the legacy loop exactly: iterate the posterior support in
+    insertion order, return ``inf`` on any prior-zero outcome, clamp the
+    ordered total at 0.
+    """
+    if not use_vectorized() or len(posterior) < _VECTOR_MIN_SUPPORT:
+        return None
+    np_ = require_numpy()
+    _count_call("kl_divergence")
+    count = len(posterior)
+    ps = np_.empty(count, dtype=np_.float64)
+    qs = np_.empty(count, dtype=np_.float64)
+    for row, (outcome, p) in enumerate(posterior.items()):
+        ps[row] = p
+        qs[row] = prior[outcome]
+    if (qs == 0.0).any():
+        return math.inf
+    terms = ps * _exact_log2(np_, ps / qs)
+    return max(ordered_sum(terms), 0.0)
+
+
+# ----------------------------------------------------------------------
+# Mutual information / conditional MI (information.entropy)
+# ----------------------------------------------------------------------
+def _marginal_probs(np_: Any, fs_codes: Any, n_codes: int, p: Any) -> Any:
+    """The stored values of ``DiscreteDistribution(acc, normalize=True)``
+    for a group-by accumulation: ``np.add.at`` accumulates sequentially
+    in item order (same fold as the legacy dict), the normalizer is the
+    ordered sum over first-seen insertion order."""
+    acc = np_.zeros(n_codes, dtype=np_.float64)
+    np_.add.at(acc, fs_codes, p)
+    return acc * (1.0 / ordered_sum(acc))
+
+
+def _mi_from_arrays(np_: Any, p: Any, a_codes: Any, b_codes: Any) -> float:
+    """``mutual_information`` over pre-encoded columns of one joint law
+    (or one conditioned slice of it), replicating the legacy iteration
+    orders: marginals accumulate and normalize in first-seen order, pair
+    terms sum in first-seen pair order, total clamps at 0."""
+    a_fs, _a_orig, na = _first_seen_codes(np_, a_codes)
+    b_fs, _b_orig, nb = _first_seen_codes(np_, b_codes)
+    pa = _marginal_probs(np_, a_fs, na, p)
+    pb = _marginal_probs(np_, b_fs, nb, p)
+    pair = a_fs * nb + b_fs
+    pair_fs, pair_orig, n_pairs = _first_seen_codes(np_, pair)
+    acc = np_.zeros(n_pairs, dtype=np_.float64)
+    np_.add.at(acc, pair_fs, p)
+    den = pa[pair_orig // nb] * pb[pair_orig % nb]
+    terms = acc * _exact_log2(np_, acc / den)
+    return max(ordered_sum(terms), 0.0)
+
+
+def mutual_information_fast(joint: Any, a: Any, b: Any) -> Optional[float]:
+    """Vectorized :func:`repro.information.entropy.mutual_information`
+    for single-component ``a``/``b``, or ``None`` to fall back."""
+    if not use_vectorized():
+        return None
+    if not isinstance(a, (str, int)) or not isinstance(b, (str, int)):
+        return None
+    items = list(joint.items())
+    if len(items) < _VECTOR_MIN_SUPPORT:
+        return None
+    np_ = require_numpy()
+    a_index = joint._resolve(a)  # noqa: SLF001 - same internal the legacy path uses
+    b_index = joint._resolve(b)  # noqa: SLF001
+    _count_call("mutual_information")
+    p = np_.fromiter(
+        (item[1] for item in items), dtype=np_.float64, count=len(items)
+    )
+    a_codes, _ = _encode_column(np_, items, a_index)
+    b_codes, _ = _encode_column(np_, items, b_index)
+    return _mi_from_arrays(np_, p, a_codes, b_codes)
+
+
+def conditional_mutual_information_fast(
+    joint: Any, a: Any, b: Any, given: Any
+) -> Optional[float]:
+    """Vectorized
+    :func:`repro.information.entropy.conditional_mutual_information`
+    for single-component arguments, or ``None`` to fall back.
+
+    Replicates the legacy computation structurally: the conditioning
+    marginal's first-seen value order, the *double* normalization a
+    ``JointDistribution.condition`` performs (once in
+    ``DiscreteDistribution.condition``, once in the joint constructor's
+    drift removal — including the constructor's mass-tolerance check),
+    and the per-``z`` ``p * max(MI, 0)`` accumulation order.
+    """
+    if not use_vectorized():
+        return None
+    if (
+        not isinstance(a, (str, int))
+        or not isinstance(b, (str, int))
+        or not isinstance(given, (str, int))
+    ):
+        return None
+    items = list(joint.items())
+    if len(items) < _VECTOR_MIN_SUPPORT:
+        return None
+    np_ = require_numpy()
+    a_index = joint._resolve(a)  # noqa: SLF001
+    b_index = joint._resolve(b)  # noqa: SLF001
+    g_index = joint._resolve(given)  # noqa: SLF001
+    _count_call("conditional_mutual_information")
+    p = np_.fromiter(
+        (item[1] for item in items), dtype=np_.float64, count=len(items)
+    )
+    z_codes, _ = _encode_column(np_, items, g_index)
+    a_codes, _ = _encode_column(np_, items, a_index)
+    b_codes, _ = _encode_column(np_, items, b_index)
+    nz = int(z_codes.max()) + 1
+    pz = _marginal_probs(np_, z_codes, nz, p)
+    row_order = np_.argsort(z_codes, kind="stable")
+    counts = np_.bincount(z_codes, minlength=nz).tolist()
+    p_sorted = p[row_order]
+    a_sorted = a_codes[row_order]
+    b_sorted = b_codes[row_order]
+    pz_list = pz.tolist()
+    total = 0.0
+    lo = 0
+    for z in range(nz):
+        hi = lo + counts[z]
+        raw = p_sorted[lo:hi]
+        scaled_once = raw * (1.0 / ordered_sum(raw))
+        mass = ordered_sum(scaled_once)
+        if not abs(mass - 1.0) <= 1e-9:
+            # The legacy joint constructor would reject this slice; let
+            # the legacy path raise the identical error.
+            return None
+        scaled_twice = scaled_once * (1.0 / mass)
+        mi = _mi_from_arrays(np_, scaled_twice, a_sorted[lo:hi], b_sorted[lo:hi])
+        total += pz_list[z] * mi
+        lo = hi
+    return total
+
+
+# ----------------------------------------------------------------------
+# Lemma 3 class-conditioned transcript probabilities (lowerbounds)
+# ----------------------------------------------------------------------
+def class_conditioned_probabilities(
+    factor_table: Any, class_matrix: Any
+) -> float:
+    """:math:`\\Pr[\\Pi = \\ell \\mid X \\in \\text{class}]` for a uniform
+    input class, from a ``(k, 2)`` per-player factor table and an
+    ``(m, k)`` 0/1 class matrix.
+
+    Bit-identical to ``sum(factors.probability(x) for x in class) / m``:
+    per input the factors multiply in ascending player order from 1.0,
+    and the class sum folds left-to-right.
+    """
+    np_ = require_numpy()
+    _count_call("lemma3_class_probability")
+    m, k = class_matrix.shape
+    product = np_.ones(m, dtype=np_.float64)
+    for i in range(k):
+        product = product * factor_table[i][class_matrix[:, i]]
+    return ordered_sum(product) / m
+
+
+# ----------------------------------------------------------------------
+# Lemma 2 per-player divergence sum (lowerbounds.posterior)
+# ----------------------------------------------------------------------
+def per_player_divergence_sum_fast(
+    joint: Any, k: int, x_index: int, z_index: int, t_index: int
+) -> Optional[float]:
+    """Vectorized right-hand side of Lemma 2, or ``None`` to fall back.
+
+    Engages only when every player's input bit is exactly 0 or 1 (the
+    hard-distribution setting); the two-outcome posteriors/priors make
+    every inner sum a one- or two-term IEEE addition, which is
+    commutative bit-for-bit, so no per-pair ordering state is needed.
+    """
+    if not use_vectorized():
+        return None
+    items = list(joint.items())
+    if len(items) < _VECTOR_MIN_SUPPORT:
+        return None
+    np_ = require_numpy()
+    try:
+        bits = np_.array(
+            [outcome[x_index] for outcome, _p in items], dtype=np_.int64
+        )
+    except (TypeError, ValueError):
+        return None
+    if bits.ndim != 2 or bits.shape[1] != k:
+        return None
+    if not np_.logical_or(bits == 0, bits == 1).all():
+        return None
+    _count_call("per_player_divergence_sum")
+    m = len(items)
+    p = np_.fromiter(
+        (item[1] for item in items), dtype=np_.float64, count=m
+    )
+    z_codes, _ = _encode_column(np_, items, z_index)
+    t_codes, _ = _encode_column(np_, items, t_index)
+    nz = int(z_codes.max()) + 1
+    pair = t_codes * nz + z_codes
+    pair_fs, _pair_orig, n_pairs = _first_seen_codes(np_, pair)
+    z_of_pair = np_.zeros(n_pairs, dtype=np_.int64)
+    z_of_pair[pair_fs] = z_codes
+
+    pair_mass = np_.zeros(n_pairs, dtype=np_.float64)
+    np_.add.at(pair_mass, pair_fs, p)
+
+    # Bit-mass tables, accumulated item-major / player-ascending — the
+    # exact per-slot fold order of the legacy dict accumulation.
+    player = np_.tile(np_.arange(k, dtype=np_.int64), m)
+    weights = np_.repeat(p, k)
+    flat_bits = bits.reshape(-1)
+    post = np_.zeros(n_pairs * k * 2, dtype=np_.float64)
+    np_.add.at(
+        post, (np_.repeat(pair_fs, k) * k + player) * 2 + flat_bits, weights
+    )
+    aux = np_.zeros(nz * k * 2, dtype=np_.float64)
+    np_.add.at(
+        aux, (np_.repeat(z_codes, k) * k + player) * 2 + flat_bits, weights
+    )
+    post = post.reshape(n_pairs, k, 2)
+    aux = aux.reshape(nz, k, 2)
+
+    post_total = post[:, :, 0] + post[:, :, 1]
+    post_scale = 1.0 / post_total
+    aux_pairs = aux[z_of_pair]
+    aux_total = aux_pairs[:, :, 0] + aux_pairs[:, :, 1]
+    aux_scale = 1.0 / aux_total
+
+    kl = np_.zeros((n_pairs, k), dtype=np_.float64)
+    for bit in (0, 1):
+        mass = post[:, :, bit]
+        present = mass > 0.0
+        if not present.any():
+            continue
+        q_mass = aux_pairs[:, :, bit]
+        if np_.logical_and(present, q_mass == 0.0).any():
+            return math.inf
+        p_bit = mass * post_scale
+        q_bit = q_mass * aux_scale
+        ratio = np_.divide(
+            p_bit, q_bit, out=np_.ones_like(p_bit), where=present
+        )
+        kl = kl + np_.where(
+            present, p_bit * _exact_log2(np_, ratio), 0.0
+        )
+    kl = np_.maximum(kl, 0.0)
+    contributions = pair_mass[:, None] * kl
+    return ordered_sum(contributions.reshape(-1))
+
+
+# ----------------------------------------------------------------------
+# E14 zero-error rectangle DP (lowerbounds.optimal_information)
+# ----------------------------------------------------------------------
+def minimum_entropy_supported(k: int, z_count: int) -> bool:
+    """Whether the vectorized rectangle DP may run for this instance."""
+    return (
+        use_vectorized()
+        and k >= 1
+        and (3 ** k) * z_count <= _E14_CELL_CAP
+    )
+
+
+def minimum_entropy(
+    k: int,
+    evaluate: Callable[[Sequence[int]], int],
+    conditional_masses: Sequence[Callable[[int, int], float]],
+) -> float:
+    """Vectorized form of the ``_minimum_entropy`` rectangle DP.
+
+    Rectangles are base-3 codes (digit 2 = unrestricted); the DP runs
+    bottom-up by unknown-coordinate count over dense arrays.  All float
+    operations replicate the legacy recursion's order exactly: rectangle
+    masses fold over players ascending, split costs fold over ``z``
+    ascending then divide by ``z_count``, candidates associate as
+    ``(split + left) + right``, and the minimum scans split coordinates
+    ascending with a strict ``<``.
+    """
+    np_ = require_numpy()
+    _count_call("minimum_entropy_dp")
+    z_count = len(conditional_masses)
+    n = 3 ** k
+    pow3 = [3 ** i for i in range(k)]
+    codes = np_.arange(n, dtype=np_.int64)
+    digits = np_.empty((n, k), dtype=np_.int8)
+    for i in range(k):
+        digits[:, i] = (codes // pow3[i]) % 3
+    unknown = digits == 2
+    unknown_count = unknown.sum(axis=1, dtype=np_.int64)
+
+    # Per-z rectangle masses: multiply player factors ascending, with a
+    # factor of exactly 1.0 at unrestricted coordinates (x * 1.0 == x,
+    # so the fold value matches the legacy skip-unknowns loop bit for
+    # bit).
+    mass = np_.empty((z_count, n), dtype=np_.float64)
+    for z in range(z_count):
+        masses = conditional_masses[z]
+        table = np_.empty((k, 3), dtype=np_.float64)
+        for i in range(k):
+            table[i, 0] = masses(i, 0)
+            table[i, 1] = masses(i, 1)
+            table[i, 2] = 1.0
+        acc = np_.ones(n, dtype=np_.float64)
+        for i in range(k):
+            acc = acc * table[i][digits[:, i]]
+        mass[z] = acc
+
+    value = np_.zeros(n, dtype=np_.float64)
+    mono = np_.zeros(n, dtype=bool)
+    mono_value = np_.zeros(n, dtype=np_.int64)
+    corners = np_.flatnonzero(unknown_count == 0)
+    corner_digits = digits[corners].tolist()
+    for code, assignment in zip(corners.tolist(), corner_digits):
+        mono_value[code] = evaluate(tuple(assignment))
+    mono[corners] = True
+
+    pow3_arr = np_.array(pow3, dtype=np_.int64)
+    for level in range(1, k + 1):
+        level_codes = np_.flatnonzero(unknown_count == level)
+        first_unknown = unknown[level_codes].argmax(axis=1)
+        left = level_codes - 2 * pow3_arr[first_unknown]
+        right = level_codes - pow3_arr[first_unknown]
+        is_mono = (
+            mono[left] & mono[right] & (mono_value[left] == mono_value[right])
+        )
+        mono[level_codes] = is_mono
+        mono_value[level_codes] = mono_value[left]
+        work = level_codes[~is_mono]
+        if work.shape[0] == 0:
+            continue
+        best = np_.full(work.shape[0], np_.inf, dtype=np_.float64)
+        work_digits = digits[work]
+        for i in range(k):
+            splittable = work_digits[:, i] == 2
+            if not splittable.any():
+                continue
+            rect = work[splittable]
+            rect_left = rect - 2 * pow3[i]
+            rect_right = rect - pow3[i]
+            split = np_.zeros(rect.shape[0], dtype=np_.float64)
+            for z in range(z_count):
+                p_rect = mass[z, rect]
+                positive = p_rect > 0.0
+                ratio = np_.divide(
+                    mass[z, rect_right],
+                    p_rect,
+                    out=np_.zeros(rect.shape[0], dtype=np_.float64),
+                    where=positive,
+                )
+                ratio = np_.minimum(np_.maximum(ratio, 0.0), 1.0)
+                split = split + np_.where(
+                    positive,
+                    p_rect * _exact_binary_entropy(np_, ratio),
+                    0.0,
+                )
+            split = split / z_count
+            candidate = (split + value[rect_left]) + value[rect_right]
+            current = best[splittable]
+            best[splittable] = np_.where(
+                candidate < current, candidate, current
+            )
+        value[work] = best
+    return float(value[n - 1])
+
+
+# ----------------------------------------------------------------------
+# E1 disjointness bit-count simulators (bigint board engine)
+# ----------------------------------------------------------------------
+def _popcount(mask: int) -> int:
+    return bin(mask).count("1")
+
+
+def _gamma_length(value: int) -> int:
+    return 2 * (value.bit_length() - 1) + 1
+
+
+def _lowest_bits(mask: int, m: int) -> int:
+    """The ``m`` lowest set bits of ``mask`` (caller guarantees it has
+    at least ``m``)."""
+    out = 0
+    for _ in range(m):
+        low = mask & -mask
+        out |= low
+        mask ^= low
+    return out
+
+
+def simulate_trivial_disjointness(
+    n: int, k: int, masks: Sequence[int]
+) -> Tuple[int, int]:
+    """``(bits, output)`` of ``TrivialDisjointnessProtocol`` — every
+    player writes its full ``n``-bit vector."""
+    _count_call("e1_trivial")
+    intersection = (1 << n) - 1
+    for mask in masks:
+        intersection &= mask
+    return n * k, int(intersection == 0)
+
+
+def simulate_naive_disjointness(
+    n: int, k: int, masks: Sequence[int]
+) -> Tuple[int, int]:
+    """``(bits, output)`` of ``NaiveDisjointnessProtocol`` without
+    materializing any message strings — only the exact bit widths."""
+    _count_call("e1_naive")
+    full = (1 << n) - 1
+    index_width = max((n - 1).bit_length(), 1)
+    covered = 0
+    bits = 0
+    for mask in masks:
+        new_zeros = (~mask) & full & ~covered
+        if new_zeros == 0:
+            bits += 1
+        else:
+            count = _popcount(new_zeros)
+            bits += 1 + _gamma_length(count) + count * index_width
+            covered |= new_zeros
+    return bits, int(covered == full)
+
+
+def simulate_optimal_disjointness(
+    n: int, k: int, masks: Sequence[int]
+) -> Tuple[int, int]:
+    """``(bits, output)`` of ``OptimalDisjointnessProtocol``.
+
+    Replays the board-state fold of the Section 5 protocol on bigint
+    bitmasks, charging each turn its exact encoded width (pass bit,
+    batch subset code, or endgame index list) without constructing the
+    combinadic ranks — the rank arithmetic dominates the legacy runner's
+    cost at large ``n`` and never affects the bit count.
+    """
+    _count_call("e1_optimal")
+    from ..coding.combinatorial import subset_code_width
+
+    full = (1 << n) - 1
+    covered = 0
+    cycle_base = 0
+    turn = 0
+    wrote = False
+    endgame = n < k * k
+    zone_size = n
+    bits = 0
+    while True:
+        if covered == full:
+            return bits, 1
+        player = turn
+        mask = masks[player]
+        new_zeros = (~mask) & full & ~covered
+        if endgame:
+            count = _popcount(new_zeros)
+            if count == 0:
+                bits += 1
+                written = 0
+            else:
+                width = (zone_size - 1).bit_length()
+                bits += 1 + _gamma_length(count) + count * width
+                written = new_zeros
+        else:
+            batch = -(-zone_size // k)
+            if _popcount(new_zeros) >= batch:
+                bits += 1 + subset_code_width(zone_size, batch)
+                written = _lowest_bits(new_zeros, batch)
+            else:
+                bits += 1
+                written = 0
+        covered |= written
+        turn += 1
+        wrote = wrote or written != 0
+        if covered == full:
+            continue
+        if turn < k:
+            continue
+        if endgame or not wrote:
+            return bits, 0
+        zone_size = n - _popcount(covered)
+        cycle_base = covered
+        turn = 0
+        wrote = False
+        endgame = zone_size < k * k

@@ -1,0 +1,243 @@
+"""Shared-memory result transport for :func:`repro.perf.grid.map_grid`.
+
+Worker processes normally return results to the parent by pickling them
+through the executor's result pipe.  For large numpy payloads (the
+vectorized kernels' tables) that serialization is pure overhead: the
+bytes are already contiguous.  This module lets the worker hand such
+arrays over in :mod:`multiprocessing.shared_memory` segments instead —
+the pickle then carries only a tiny :class:`ShmArrayToken` naming the
+segment, and the parent maps, copies, and unlinks it.
+
+Everything here is transparent and conservative:
+
+* Only ``numpy.ndarray`` values of at least :func:`min_shm_bytes` bytes
+  (default 64 KiB, override with ``REPRO_SHM_MIN_BYTES``) inside the
+  result's top-level containers (dict / list / tuple, recursively) are
+  diverted; everything else — and every array on a platform or
+  interpreter where shared memory is unavailable — pickles exactly as
+  before (the *pickle fallback*).
+* Ownership transfers to the parent: the worker unregisters the segment
+  from its own :mod:`multiprocessing.resource_tracker` so a clean worker
+  exit cannot reap a segment the parent has not read yet, and the parent
+  unlinks each segment as soon as it is unpacked.
+* Crash safety: segment names carry a ``repro-grid-<parent pid>-``
+  prefix, and the parent sweeps any leftover segments with its prefix
+  after the pool shuts down (:func:`sweep_orphans`) — a worker killed
+  between creating a segment and delivering its token cannot leak it.
+
+The parent counts every byte received this way on the
+``grid_shm_bytes`` observability counter.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = [
+    "ShmArrayToken",
+    "min_shm_bytes",
+    "pack_result",
+    "unpack_result",
+    "segment_prefix",
+    "sweep_orphans",
+]
+
+#: Arrays smaller than this pickle faster than a segment round-trip.
+_DEFAULT_MIN_BYTES = 64 * 1024
+
+
+def min_shm_bytes() -> int:
+    """The smallest array payload (in bytes) diverted to shared memory;
+    the ``REPRO_SHM_MIN_BYTES`` environment variable overrides the
+    64 KiB default (tests set it to 0 to exercise the path on small
+    fixtures)."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES")
+    if raw is None:
+        return _DEFAULT_MIN_BYTES
+    try:
+        return max(int(raw), 0)
+    except ValueError:
+        return _DEFAULT_MIN_BYTES
+
+
+def segment_prefix(parent_pid: int) -> str:
+    """The segment-name prefix for a sweep whose coordinating process is
+    ``parent_pid`` — shared by the workers (who create under it) and the
+    parent's orphan sweep (which deletes under it)."""
+    return f"repro-grid-{parent_pid}-"
+
+
+@dataclass(frozen=True)
+class ShmArrayToken:
+    """A pickled stand-in for an ndarray living in a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def _shared_memory():
+    """The ``SharedMemory`` class, or ``None`` where unsupported."""
+    try:
+        from multiprocessing.shared_memory import SharedMemory
+    except ImportError:  # pragma: no cover - platform without shm
+        return None
+    return SharedMemory
+
+
+def _unregister(name: str) -> None:
+    """Detach a freshly created segment from this process's resource
+    tracker: ownership is being transferred to the parent, which unlinks
+    it after unpacking (a tracker-driven cleanup at worker exit would
+    race the parent's read)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker API unavailable
+        pass
+
+
+def _export_array(array: Any, shared_memory_cls: Any) -> Any:
+    """Move one ndarray into a fresh segment, returning its token; on
+    any segment-creation failure the array itself is returned (pickle
+    fallback)."""
+    import numpy
+
+    name = segment_prefix(os.getppid()) + secrets.token_hex(8)
+    try:
+        segment = shared_memory_cls(
+            name=name, create=True, size=max(int(array.nbytes), 1)
+        )
+    except Exception:
+        return array
+    try:
+        view = numpy.ndarray(
+            array.shape, dtype=array.dtype, buffer=segment.buf
+        )
+        view[...] = array
+        token = ShmArrayToken(
+            name=name,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+        )
+    except Exception:
+        segment.close()
+        try:
+            segment.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        return array
+    segment.close()
+    _unregister(name)
+    return token
+
+
+def pack_result(result: Any) -> Any:
+    """Worker side: replace every large-enough ndarray inside ``result``
+    with a :class:`ShmArrayToken` (recursing through dicts, lists, and
+    tuples), leaving everything else untouched."""
+    shared_memory_cls = _shared_memory()
+    if shared_memory_cls is None:
+        return result
+    floor = min_shm_bytes()
+
+    def walk(value: Any) -> Any:
+        type_ = type(value)
+        if type_ is dict:
+            return {key: walk(item) for key, item in value.items()}
+        if type_ is list:
+            return [walk(item) for item in value]
+        if type_ is tuple:
+            return tuple(walk(item) for item in value)
+        if (
+            type_.__module__ == "numpy"
+            and type_.__name__ == "ndarray"
+            and value.nbytes >= floor
+        ):
+            return _export_array(value, shared_memory_cls)
+        return value
+
+    return walk(result)
+
+
+def unpack_result(result: Any) -> Tuple[Any, int]:
+    """Parent side: resolve every :class:`ShmArrayToken` inside
+    ``result`` back into an ndarray, unlinking each segment; returns the
+    rebuilt result and the number of shared bytes received."""
+    received = 0
+
+    def walk(value: Any) -> Any:
+        nonlocal received
+        type_ = type(value)
+        if type_ is dict:
+            return {key: walk(item) for key, item in value.items()}
+        if type_ is list:
+            return [walk(item) for item in value]
+        if type_ is tuple:
+            return tuple(walk(item) for item in value)
+        if type_ is ShmArrayToken:
+            received += _attach_size(value)
+            return _import_array(value)
+        return value
+
+    def _attach_size(token: ShmArrayToken) -> int:
+        import numpy
+
+        return int(
+            numpy.dtype(token.dtype).itemsize
+            * int(numpy.prod(token.shape, dtype=numpy.int64))
+        )
+
+    return walk(result), received
+
+
+def _import_array(token: ShmArrayToken) -> Any:
+    import numpy
+    from multiprocessing.shared_memory import SharedMemory
+
+    segment = SharedMemory(name=token.name)
+    try:
+        view = numpy.ndarray(
+            token.shape, dtype=numpy.dtype(token.dtype), buffer=segment.buf
+        )
+        array = numpy.array(view, copy=True)
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - double delivery
+            pass
+    return array
+
+
+def sweep_orphans(parent_pid: int) -> int:
+    """Delete any leftover segments created for ``parent_pid``'s sweep
+    (a worker died between export and delivery).  Returns the number of
+    segments removed.  POSIX-only by nature; elsewhere it is a no-op."""
+    shared_memory_cls = _shared_memory()
+    if shared_memory_cls is None:  # pragma: no cover - no shm platform
+        return 0
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX
+        return 0
+    prefix = segment_prefix(parent_pid)
+    removed = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - racing teardown
+        return 0
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        try:
+            segment = shared_memory_cls(name=name)
+            segment.close()
+            segment.unlink()
+            removed += 1
+        except Exception:  # pragma: no cover - already reaped
+            continue
+    return removed

@@ -175,6 +175,28 @@ class TestE15:
             assert row[5] > 1.0  # promise protocol always cheaper here
 
 
+class TestQuickGrid:
+    """E1's ``quick`` flag selects the classic pre-extension grid."""
+
+    def test_default_grid_extends_classic(self):
+        classic = e1_disjointness_scaling.CLASSIC_GRID
+        default = e1_disjointness_scaling.DEFAULT_GRID
+        assert tuple(default[: len(classic)]) == tuple(classic)
+        assert len(default) > len(classic)
+
+    def test_quick_equals_classic_grid(self):
+        quick = e1_disjointness_scaling.run(quick=True)
+        classic = e1_disjointness_scaling.run(
+            grid=e1_disjointness_scaling.CLASSIC_GRID
+        )
+        assert quick.render() == classic.render()
+        assert len(quick.rows) == len(e1_disjointness_scaling.CLASSIC_GRID)
+
+    def test_explicit_grid_wins_over_quick(self):
+        table = e1_disjointness_scaling.run(grid=[(64, 4)], quick=True)
+        assert len(table.rows) == 1
+
+
 class TestDeterminism:
     def test_same_seed_same_table(self):
         """Monte-Carlo experiments are reproducible from their seed."""

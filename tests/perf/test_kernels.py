@@ -1,0 +1,447 @@
+"""repro.perf.kernels: the vectorized exact engine's contract.
+
+Two things are pinned here.  First, the switch semantics: kernel
+selection is explicit, validated, scoped, and fails fast when numpy is
+missing.  Second — the property everything else rests on — *bit
+identity*: every quantity the vectorized kernel computes (tree walks,
+entropies, divergences, mutual informations, the Lemma 3 class
+probabilities, the Lemma 2 divergence sum, the E14 rectangle DP, the E1
+protocol simulators) must equal the legacy implementation exactly, float
+for float, outcome order included, on every workload the legacy path
+completes.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.check.generator import generate_case
+from repro.core import (
+    batched_joint_transcript_distribution,
+    conditional_information_cost,
+    external_information_cost,
+    internal_information_cost,
+    run_protocol,
+)
+from repro.core.tasks import disjointness_task
+from repro.experiments.e1_disjointness_scaling import measure_point
+from repro.experiments.workloads import partition_instance, random_instance
+from repro.information import DiscreteDistribution, JointDistribution
+from repro.information.divergence import kl_divergence
+from repro.information.entropy import (
+    conditional_mutual_information,
+    mutual_information,
+)
+from repro.lowerbounds.hard_distribution import and_hard_distribution
+from repro.lowerbounds.optimal_information import (
+    minimum_zero_error_cic,
+    minimum_zero_error_external_ic,
+)
+from repro.lowerbounds.posterior import per_player_divergence_sum
+from repro.lowerbounds.transcripts import analyze_good_transcripts
+from repro.obs import REGISTRY, disable_metrics, enable_metrics
+from repro.perf import kernels
+from repro.protocols import (
+    ALL_PROTOCOLS,
+    NoisySequentialAndProtocol,
+    SequentialAndProtocol,
+    TwoPartyDisjointnessProtocol,
+)
+
+numpy_required = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="numpy not installed"
+)
+
+
+# ----------------------------------------------------------------------
+# Switch semantics.
+# ----------------------------------------------------------------------
+class TestKernelSwitch:
+    def teardown_method(self):
+        kernels.set_kernel(None)
+
+    def test_default_resolution_tracks_numpy(self):
+        kernels.set_kernel(None)
+        expected = "vectorized" if kernels.numpy_available() else "legacy"
+        assert kernels.get_kernel() == expected
+
+    def test_explicit_legacy_wins(self):
+        kernels.set_kernel("legacy")
+        assert kernels.get_kernel() == "legacy"
+        assert not kernels.use_vectorized()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernels.set_kernel("simd")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            with kernels.using_kernel("simd"):
+                pass  # pragma: no cover - never entered
+
+    def test_using_kernel_restores_on_exit(self):
+        kernels.set_kernel("legacy")
+        with kernels.using_kernel("legacy"):
+            assert kernels.get_kernel() == "legacy"
+        assert kernels.get_kernel() == "legacy"
+        kernels.set_kernel(None)
+        with kernels.using_kernel("legacy"):
+            assert kernels.get_kernel() == "legacy"
+        assert kernels.get_kernel() == (
+            "vectorized" if kernels.numpy_available() else "legacy"
+        )
+
+    def test_using_kernel_restores_after_exception(self):
+        kernels.set_kernel(None)
+        with pytest.raises(RuntimeError):
+            with kernels.using_kernel("legacy"):
+                raise RuntimeError("boom")
+        assert kernels.get_kernel() != "legacy" or not (
+            kernels.numpy_available()
+        )
+
+    def test_none_is_a_no_op(self):
+        kernels.set_kernel("legacy")
+        with kernels.using_kernel(None):
+            assert kernels.get_kernel() == "legacy"
+        assert kernels.get_kernel() == "legacy"
+
+    def test_missing_numpy_fails_at_selection_time(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy", None)
+        assert not kernels.numpy_available()
+        assert kernels.get_kernel() == "legacy"
+        assert not kernels.use_vectorized()
+        with pytest.raises(ImportError, match="numpy>=1.21"):
+            kernels.require_numpy()
+        with pytest.raises(ImportError, match="'legacy' kernel"):
+            kernels.set_kernel("vectorized")
+
+    @numpy_required
+    def test_missing_numpy_disables_fast_paths(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_numpy", None)
+        monkeypatch.setattr(kernels, "_VECTOR_MIN_SUPPORT", 0)
+        dist = DiscreteDistribution({"a": 0.25, "b": 0.75})
+        assert kernels.entropy_fast(dict(dist.items())) is None
+        assert not kernels.minimum_entropy_supported(3, 3)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: tree walks over the whole protocol suite.
+# ----------------------------------------------------------------------
+def scenario_distribution(input_tuples):
+    return DiscreteDistribution.uniform([(t,) for t in input_tuples])
+
+
+def both_kernels(compute):
+    """Evaluate ``compute()`` under each kernel, returning the pair."""
+    with kernels.using_kernel("legacy"):
+        legacy = compute()
+    with kernels.using_kernel("vectorized"):
+        vectorized = compute()
+    return legacy, vectorized
+
+
+def assert_joint_identical(legacy, vectorized):
+    assert legacy.names == vectorized.names
+    assert list(legacy.items()) == list(vectorized.items())
+
+
+@numpy_required
+class TestTreeWalkIdentity:
+    @pytest.mark.parametrize(
+        "case", ALL_PROTOCOLS, ids=[case.name for case in ALL_PROTOCOLS]
+    )
+    def test_registry_protocols(self, case):
+        protocol = case.build()
+        inputs = case.input_tuples()
+        if len(inputs) > 64:
+            inputs = inputs[::3][:64]
+        scenarios = scenario_distribution(inputs)
+        legacy, vectorized = both_kernels(
+            lambda: batched_joint_transcript_distribution(
+                protocol, scenarios, names=("inputs",)
+            )
+        )
+        assert_joint_identical(legacy, vectorized)
+
+    @pytest.mark.parametrize("index", range(25))
+    def test_generated_protocols(self, index):
+        case = generate_case(2026, index)
+        scenarios = case.input_dist.map(lambda x: (x,))
+        legacy, vectorized = both_kernels(
+            lambda: batched_joint_transcript_distribution(
+                case.protocol, scenarios, names=("inputs",)
+            )
+        )
+        assert_joint_identical(legacy, vectorized)
+
+    def test_weighted_aux_scenarios(self):
+        protocol = NoisySequentialAndProtocol(3, 0.125)
+        mu = and_hard_distribution(3)
+        legacy, vectorized = both_kernels(
+            lambda: batched_joint_transcript_distribution(
+                protocol, mu, names=("inputs", "aux")
+            )
+        )
+        assert_joint_identical(legacy, vectorized)
+
+    def test_lineage_spill_path(self, monkeypatch):
+        # Force the mixed-radix lineage codes to overflow into frozen
+        # columns almost immediately; the walk must still match legacy.
+        monkeypatch.setattr(kernels, "_LINEAGE_BITS", 4)
+        case = generate_case(2026, 3)
+        scenarios = case.input_dist.map(lambda x: (x,))
+        legacy, vectorized = both_kernels(
+            lambda: batched_joint_transcript_distribution(
+                case.protocol, scenarios, names=("inputs",)
+            )
+        )
+        assert_joint_identical(legacy, vectorized)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: information quantities.
+# ----------------------------------------------------------------------
+def random_joint(seed, shape):
+    """A random named joint law over a product outcome space."""
+    rng = random.Random(seed)
+    outcomes = list(itertools.product(*[range(size) for size in shape]))
+    probs = {outcome: rng.random() + 1e-3 for outcome in outcomes}
+    names = ("a", "b", "c")[: len(shape)]
+    return JointDistribution(probs, names=names, normalize=True)
+
+
+@numpy_required
+class TestInformationIdentity:
+    @pytest.fixture(autouse=True)
+    def force_fast_paths(self, monkeypatch):
+        # The fast paths only engage above _VECTOR_MIN_SUPPORT outcomes;
+        # drop the gate so small fixtures exercise them.
+        monkeypatch.setattr(kernels, "_VECTOR_MIN_SUPPORT", 0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_entropy(self, seed):
+        rng = random.Random(seed)
+        probs = {i: rng.random() + 1e-3 for i in range(40)}
+        dist = DiscreteDistribution(probs, normalize=True)
+        legacy, vectorized = both_kernels(dist.entropy)
+        assert legacy == vectorized
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_kl_divergence(self, seed):
+        rng = random.Random(seed)
+        support = list(range(30))
+        posterior = DiscreteDistribution(
+            {i: rng.random() + 1e-3 for i in support}, normalize=True
+        )
+        prior = DiscreteDistribution(
+            {i: rng.random() + 1e-3 for i in support}, normalize=True
+        )
+        legacy, vectorized = both_kernels(
+            lambda: kl_divergence(posterior, prior)
+        )
+        assert legacy == vectorized
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mutual_information(self, seed):
+        joint = random_joint(seed, (4, 5))
+        legacy, vectorized = both_kernels(
+            lambda: mutual_information(joint, "a", "b")
+        )
+        assert legacy == vectorized
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_conditional_mutual_information(self, seed):
+        joint = random_joint(seed, (3, 4, 3))
+        legacy, vectorized = both_kernels(
+            lambda: conditional_mutual_information(joint, "a", "b", "c")
+        )
+        assert legacy == vectorized
+
+    def test_information_costs(self):
+        protocol = NoisySequentialAndProtocol(3, 0.25)
+        mu = and_hard_distribution(3)
+        legacy, vectorized = both_kernels(
+            lambda: conditional_information_cost(protocol, mu)
+        )
+        assert legacy == vectorized
+        uniform = DiscreteDistribution.uniform(
+            list(itertools.product((0, 1), repeat=3))
+        )
+        legacy, vectorized = both_kernels(
+            lambda: external_information_cost(protocol, uniform)
+        )
+        assert legacy == vectorized
+
+    def test_internal_information_cost(self):
+        protocol = TwoPartyDisjointnessProtocol(2)
+        uniform = DiscreteDistribution.uniform(
+            list(itertools.product(range(4), repeat=2))
+        )
+        legacy, vectorized = both_kernels(
+            lambda: internal_information_cost(protocol, uniform)
+        )
+        assert legacy == vectorized
+
+    def test_per_player_divergence_sum(self):
+        protocol = NoisySequentialAndProtocol(3, 0.125)
+        mu = and_hard_distribution(3)
+        legacy, vectorized = both_kernels(
+            lambda: per_player_divergence_sum(
+                batched_joint_transcript_distribution(
+                    protocol, mu, names=("inputs", "aux")
+                ),
+                3,
+            )
+        )
+        assert legacy == vectorized
+
+    def test_lemma3_transcript_classification(self):
+        legacy, vectorized = both_kernels(
+            lambda: analyze_good_transcripts(
+                NoisySequentialAndProtocol(3, 0.25)
+            )
+        )
+        assert legacy == vectorized
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: the E14 rectangle DP.
+# ----------------------------------------------------------------------
+@numpy_required
+class TestRectangleDPIdentity:
+    @pytest.mark.parametrize("k", (2, 3, 4, 5))
+    def test_minimum_zero_error_cic(self, k):
+        legacy, vectorized = both_kernels(
+            lambda: minimum_zero_error_cic(k)
+        )
+        assert legacy == vectorized
+
+    @pytest.mark.parametrize("k", (2, 3, 4))
+    def test_minimum_zero_error_external_ic(self, k):
+        for evaluate in (lambda x: int(all(x)), lambda x: sum(x) % 2):
+            legacy, vectorized = both_kernels(
+                lambda: minimum_zero_error_external_ic(
+                    k, evaluate, [0.5] * k
+                )
+            )
+            assert legacy == vectorized
+
+    def test_cell_cap_bounds_the_dense_dp(self):
+        # 3**k * z_count above the cap must refuse the dense table.
+        assert kernels.minimum_entropy_supported(3, 3)
+        assert not kernels.minimum_entropy_supported(20, 1)
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: the E1 bigint simulators.
+# ----------------------------------------------------------------------
+@numpy_required
+class TestDisjointnessSimulators:
+    SIMULATORS = (
+        ("optimal", kernels.simulate_optimal_disjointness),
+        ("naive", kernels.simulate_naive_disjointness),
+        ("trivial", kernels.simulate_trivial_disjointness),
+    )
+    PROTOCOLS = {
+        "optimal": "OptimalDisjointnessProtocol",
+        "naive": "NaiveDisjointnessProtocol",
+        "trivial": "TrivialDisjointnessProtocol",
+    }
+
+    @pytest.mark.parametrize("point", ((64, 4), (256, 4), (256, 8)))
+    def test_measure_point_identical(self, point):
+        n, k = point
+        legacy, vectorized = both_kernels(lambda: measure_point(n, k))
+        assert legacy == vectorized
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        from repro.protocols import (
+            NaiveDisjointnessProtocol,
+            OptimalDisjointnessProtocol,
+            TrivialDisjointnessProtocol,
+        )
+
+        classes = {
+            "optimal": OptimalDisjointnessProtocol,
+            "naive": NaiveDisjointnessProtocol,
+            "trivial": TrivialDisjointnessProtocol,
+        }
+        rng = random.Random(seed)
+        n = rng.choice((16, 48, 96))
+        k = rng.choice((3, 4, 6))
+        inputs = random_instance(n, k, rng)
+        task = disjointness_task(n, k)
+        for name, simulate in self.SIMULATORS:
+            bits, output = simulate(n, k, inputs)
+            outcome = run_protocol(classes[name](n, k), inputs)
+            assert output == outcome.output == task.evaluate(inputs)
+            assert bits == outcome.bits_communicated
+
+    def test_partition_worst_case(self):
+        from repro.protocols import OptimalDisjointnessProtocol
+
+        n, k = 128, 8
+        inputs = partition_instance(n, k)
+        bits, output = kernels.simulate_optimal_disjointness(n, k, inputs)
+        outcome = run_protocol(OptimalDisjointnessProtocol(n, k), inputs)
+        assert (bits, output) == (outcome.bits_communicated, outcome.output)
+
+
+# ----------------------------------------------------------------------
+# Telemetry: the kernel_vectorized_calls counter.
+# ----------------------------------------------------------------------
+@numpy_required
+class TestVectorizedCallCounter:
+    def teardown_method(self):
+        disable_metrics()
+        kernels.set_kernel(None)
+
+    def test_vectorized_ops_are_counted(self):
+        enable_metrics(reset=True)
+        protocol = SequentialAndProtocol(3)
+        scenarios = scenario_distribution(
+            list(itertools.product((0, 1), repeat=3))
+        )
+        with kernels.using_kernel("vectorized"):
+            batched_joint_transcript_distribution(protocol, scenarios)
+            kernels.simulate_trivial_disjointness(8, 2, (3, 5))
+        counter = REGISTRY.counter("kernel_vectorized_calls")
+        assert counter.value(op="tree_walk") >= 1
+        assert counter.value(op="e1_trivial") == 1
+
+    def test_legacy_runs_emit_nothing(self):
+        enable_metrics(reset=True)
+        protocol = SequentialAndProtocol(3)
+        scenarios = scenario_distribution(
+            list(itertools.product((0, 1), repeat=3))
+        )
+        with kernels.using_kernel("legacy"):
+            batched_joint_transcript_distribution(protocol, scenarios)
+        assert REGISTRY.counter("kernel_vectorized_calls").total() == 0
+
+
+# ----------------------------------------------------------------------
+# Experiment-level identity: --kernel must never change a table.
+# ----------------------------------------------------------------------
+@numpy_required
+class TestExperimentKernelIdentity:
+    def test_e1_table_identical(self):
+        from repro.experiments.e1_disjointness_scaling import run
+
+        legacy = run(grid=[(64, 4), (256, 8)], kernel="legacy")
+        vectorized = run(grid=[(64, 4), (256, 8)], kernel="vectorized")
+        assert legacy.render() == vectorized.render()
+
+    def test_e14_table_identical(self):
+        from repro.experiments.e14_optimal_information import run
+
+        legacy = run(ks=[2, 3, 4], kernel="legacy")
+        vectorized = run(ks=[2, 3, 4], kernel="vectorized")
+        assert legacy.render() == vectorized.render()
+
+    def test_unknown_kernel_rejected(self):
+        from repro.experiments.e1_disjointness_scaling import run
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run(grid=[(64, 4)], kernel="simd")
