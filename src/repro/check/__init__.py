@@ -31,6 +31,7 @@ from .harness import CaseReport, SuiteReport, run_case, run_suite
 from .oracles import (
     ALL_ORACLES,
     BatchedTreeOracle,
+    ByzantineBlackboardOracle,
     ClosedFormOracle,
     DisciplineOracle,
     InvariantsOracle,
@@ -66,6 +67,7 @@ __all__ = [
     "SamplerOracle",
     "InvariantsOracle",
     "NetworkOracle",
+    "ByzantineBlackboardOracle",
     "StoreRoundtripOracle",
     "CaseReport",
     "SuiteReport",

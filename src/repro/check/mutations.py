@@ -43,9 +43,11 @@ __all__ = [
     "ESTIMATOR_BUGS",
     "DISCIPLINE_BUGS",
     "NET_BUGS",
+    "BYZANTINE_BUGS",
     "STORE_BUGS",
     "store_serve",
     "networked_reference",
+    "byzantine_reference",
     "legacy_joint_transcript_distribution",
     "vectorized_reference",
     "closed_form_cic",
@@ -668,6 +670,194 @@ def networked_reference(
         for i in range(k):
             if i != speaker and bug != "coin-desync":
                 for _ in range(frame.coin_draws):
+                    replicas[i].random()
+            states[i] = protocol.advance_state(states[i], message)
+        board = board.extend(message)
+    raise ProtocolViolation(
+        f"protocol did not halt within {max_messages} messages"
+    )
+
+
+# ----------------------------------------------------------------------
+# 7b. Byzantine-tolerant networked reference (for repro.net.byzantine).
+# ----------------------------------------------------------------------
+BYZANTINE_BUGS: Tuple[str, ...] = (
+    "accept-without-quorum",
+    "echo-replay-accepted",
+)
+
+
+def byzantine_reference(
+    protocol: Protocol,
+    inputs: Sequence[Any],
+    seed: Optional[int],
+    *,
+    f: int = 1,
+    bug: Optional[str] = None,
+    max_messages: int = 1_000_000,
+):
+    """A Bracha-filtered networked execution re-derived independently.
+
+    Extends the :func:`networked_reference` simulation with the one
+    thing the byzantine layer adds: before a round's message reaches the
+    board, it must survive ECHO/READY *vote counting* at an honest
+    target party while a byzantine voter attacks the count.  The quorums
+    are re-derived here from the Bracha '87 statement —
+    ``ceil((k + f + 1) / 2)`` matching ECHOs to become ready, ``2f + 1``
+    matching READYs to deliver — independently of
+    :mod:`repro.net.byzantine`'s arithmetic, and every vote crosses a
+    real ``encode_frame``/``decode_frame`` round-trip through the new
+    ECHO/READY frame kinds.
+
+    Each round the adversary (the highest-index party, so exactly one
+    byzantine voter; ``f >= 1`` covers it) races the honest parties: it
+    injects an ECHO and a READY for a *conflicting* value (the true
+    payload with its first bit flipped) **first**, each followed by
+    enough verbatim replays of itself to reach the respective quorum —
+    were replays counted.  A faithful count (``bug=None``) keeps one
+    vote per voter, so the evil value is stuck at one ECHO and one READY
+    (below every quorum for ``f >= 1``) while the ``k - 1`` honest votes
+    deliver the true value — bit-identical to ``run_protocol``.
+
+    Planted bugs:
+
+    * ``"accept-without-quorum"`` — the target delivers the value of the
+      first READY it processes instead of waiting for ``2f + 1``: the
+      adversary's conflicting READY wins the race and a wrong message
+      reaches the board.
+    * ``"echo-replay-accepted"`` — vote deduplication is skipped, so the
+      adversary's replayed ECHOs fake an echo quorum and its replayed
+      READYs fake a delivery quorum for the conflicting value: the bug
+      per-voter vote tracking exists to prevent.
+    """
+    _check_bug(bug, BYZANTINE_BUGS)
+    from ..core.runner import ProtocolRun
+    from ..net.framing import Frame, FrameKind, decode_frame, encode_frame
+
+    k = protocol.num_players
+    if f < 1:
+        raise ValueError("the byzantine reference needs f >= 1 (one attacker)")
+    echo_quorum = math.ceil((k + f + 1) / 2)
+    ready_quorum = 2 * f + 1
+    if k - 1 < max(echo_quorum, ready_quorum):
+        raise ValueError(
+            f"k={k}, f={f}: the {k - 1} honest votes cannot reach the "
+            f"quorums (echo {echo_quorum}, ready {ready_quorum}) — the "
+            f"scenario needs k > 3f with k >= 4"
+        )
+    adversary = k - 1
+
+    def vote_wire(kind: FrameKind, voter: int, r: int, bits: str, draws: int) -> Frame:
+        wire = encode_frame(
+            Frame(
+                kind=kind,
+                party=voter,
+                round_index=r,
+                coin_draws=draws,
+                payload=bits,
+            )
+        )
+        frame, consumed = decode_frame(wire)
+        if consumed != len(wire):
+            raise ProtocolViolation("vote frame round-trip left trailing bytes")
+        return frame
+
+    def count_round(r: int, bits: str, draws: int) -> Tuple[str, int]:
+        """The value the target party delivers for round ``r``."""
+        evil = ("1" if bits[0] == "0" else "0") + bits[1:]
+        arrivals: List[Frame] = []
+        # The adversary races ahead: one conflicting vote of each kind,
+        # each replayed verbatim up to the respective quorum.
+        for _ in range(echo_quorum):
+            arrivals.append(vote_wire(FrameKind.ECHO, adversary, r, evil, draws))
+        for _ in range(ready_quorum):
+            arrivals.append(vote_wire(FrameKind.READY, adversary, r, evil, draws))
+        for voter in range(k - 1):
+            arrivals.append(vote_wire(FrameKind.ECHO, voter, r, bits, draws))
+        for voter in range(k - 1):
+            arrivals.append(vote_wire(FrameKind.READY, voter, r, bits, draws))
+        echo_seen: Dict[int, Tuple[str, int]] = {}
+        ready_seen: Dict[int, Tuple[str, int]] = {}
+        echo_counts: Dict[Tuple[str, int], int] = {}
+        ready_counts: Dict[Tuple[str, int], int] = {}
+        ready_ok: Dict[Tuple[str, int], bool] = {}
+        for frame in arrivals:
+            value = (frame.payload, frame.coin_draws)
+            if frame.kind == FrameKind.ECHO:
+                if bug != "echo-replay-accepted":
+                    if frame.party in echo_seen:
+                        continue  # one echo vote per voter
+                    echo_seen[frame.party] = value
+                echo_counts[value] = echo_counts.get(value, 0) + 1
+                if echo_counts[value] >= echo_quorum:
+                    ready_ok[value] = True
+            else:
+                if bug != "echo-replay-accepted":
+                    if frame.party in ready_seen:
+                        continue  # one ready vote per voter
+                    ready_seen[frame.party] = value
+                ready_counts[value] = ready_counts.get(value, 0) + 1
+                if bug == "accept-without-quorum":
+                    return value
+                if ready_counts[value] >= ready_quorum and ready_ok.get(value):
+                    return value
+        raise ProtocolViolation(
+            f"round {r}: no value reached the ready quorum at the target"
+        )
+
+    replicas = [random.Random(seed) for _ in range(k)]
+    states = [protocol.initial_state() for _ in range(k)]
+    board = Transcript()
+    for round_index in range(max_messages):
+        views = {protocol.next_speaker(states[i], board) for i in range(k)}
+        if len(views) != 1:
+            raise ProtocolViolation(
+                f"party views disagree on the speaker: {views}"
+            )
+        (speaker,) = views
+        if speaker is None:
+            output = protocol.output(states[0], board)
+            return ProtocolRun(
+                transcript=board,
+                output=output,
+                bits_communicated=board.bits_written,
+                rounds=len(board),
+            )
+        dist = protocol.message_distribution(
+            states[speaker], speaker, inputs[speaker], board
+        )
+        if len(dist) == 1:
+            (bits,) = dist.support()
+            draws = 0
+        else:
+            if seed is None:
+                raise ProtocolViolation(
+                    "protocol requires private randomness but no seed "
+                    "was given to the networked run"
+                )
+            bits = dist.sample(replicas[speaker])
+            draws = 1
+        # The speaker's SEND crosses the wire, then the round commits
+        # with whatever value survives the target's Bracha count.
+        wire = encode_frame(
+            Frame(
+                kind=FrameKind.APPEND,
+                party=speaker,
+                round_index=round_index,
+                coin_draws=draws,
+                payload=bits,
+            )
+        )
+        send, consumed = decode_frame(wire)
+        if consumed != len(wire):
+            raise ProtocolViolation("frame round-trip left trailing bytes")
+        delivered_bits, delivered_draws = count_round(
+            round_index, send.payload, send.coin_draws
+        )
+        message = Message(speaker=send.party, bits=delivered_bits)
+        for i in range(k):
+            if i != speaker:
+                for _ in range(delivered_draws):
                     replicas[i].random()
             states[i] = protocol.advance_state(states[i], message)
         board = board.extend(message)

@@ -33,6 +33,15 @@ GeneratedCase`) and checks one cross-layer agreement property:
                       independent k-replica simulation are all
                       bit-identical to ``run_protocol`` under the same
                       coin seed.
+``byzantine-blackboard`` the Bracha reliable-broadcast layer
+                      (``run_networked(..., byzantine=f)``) stays
+                      bit-identical to ``run_protocol`` — on the
+                      generated case with every party honest, and on a
+                      derived ``k=4`` protocol with one actively lying
+                      party under a seeded byzantine fault plan — and
+                      an independent quorum-counting reference
+                      (:func:`repro.check.mutations.
+                      byzantine_reference`) agrees.
 ``store-roundtrip``   a result cached through ``repro.store`` is served
                       byte-identical to the freshly computed analysis,
                       a code-version bump makes the old entry
@@ -78,6 +87,7 @@ __all__ = [
     "SamplerOracle",
     "InvariantsOracle",
     "NetworkOracle",
+    "ByzantineBlackboardOracle",
     "StoreRoundtripOracle",
     "ALL_ORACLES",
     "oracle_by_name",
@@ -519,6 +529,107 @@ def _run_mismatch(truth: Any, candidate: Any) -> Optional[str]:
     return None
 
 
+class ByzantineBlackboardOracle(Oracle):
+    """Bracha reliable broadcast beneath the blackboard — bit-identical.
+
+    Two legs, both against the in-memory ground truth
+    :func:`~repro.core.runner.run_protocol` under the case seed:
+
+    1. *Generated case, every party honest.*  The production
+       ``run_networked(..., byzantine=ByzantineConfig(f=f_max))`` with
+       ``f_max = (k - 1) // 3`` (the largest tolerable fault budget for
+       the case's ``k``) must be bit-identical in transcript, output,
+       and ``bits_communicated`` — the Bracha layer is pure overhead
+       when nobody lies.
+    2. *Derived ``k=4`` adversarial run.*  Generated cases only reach
+       ``k ∈ {2, 3}``, too small for a non-trivial quorum, so — like
+       ``cic-closed-form`` — this leg derives its own protocol (the
+       sequential AND family at ``k=4``, alternating the noisy variant
+       by case index so coin draws enter the vote identity) and runs it
+       with ``f=1`` while party 3 actively equivocates, forges, and
+       replays under a seeded :class:`~repro.net.faults.
+       ByzantineFaultPlan`.  Since ``k > 3f``, the run must *still* be
+       bit-identical.  The same execution is re-derived by the
+       independent quorum-counting reference
+       :func:`repro.check.mutations.byzantine_reference` — the
+       planted-bug carrier: an ``accept-without-quorum`` or
+       ``echo-replay-accepted`` defect delivers the adversary's value
+       and shows up as a board mismatch.
+    """
+
+    name = "byzantine-blackboard"
+    bugs = mutations.BYZANTINE_BUGS
+    #: Input tuples checked per case on leg 1 (the exhaustive sweep
+    #: lives in ``tests/net/test_byzantine.py``).
+    max_inputs = 2
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        from ..core.runner import run_protocol
+        from ..net import ByzantineConfig, ByzantineFaultPlan, run_networked
+        from ..protocols import NoisySequentialAndProtocol, SequentialAndProtocol
+
+        seed = case.spec.seed
+        k = case.protocol.num_players
+        f_max = (k - 1) // 3
+        checked = 0
+        for inputs in case.input_tuples[: self.max_inputs]:
+            truth = run_protocol(
+                case.protocol, inputs, rng=random.Random(seed)
+            )
+            honest = run_networked(
+                case.protocol,
+                inputs,
+                seed=seed,
+                byzantine=ByzantineConfig(f=f_max),
+            )
+            mismatch = _run_mismatch(truth, honest)
+            if mismatch is not None:
+                return self._fail(
+                    f"honest byzantine run (f={f_max}) diverged on "
+                    f"{inputs}: {mismatch}"
+                )
+            checked += 1
+
+        index = case.index if case.index >= 0 else case.spec.seed
+        if index % 2 == 0:
+            derived = SequentialAndProtocol(4)
+        else:
+            derived = NoisySequentialAndProtocol(4, 0.25)
+        inputs = (1, 1, 1, 1)
+        truth = run_protocol(derived, inputs, rng=random.Random(seed))
+        plan = ByzantineFaultPlan(
+            seed=seed,
+            parties=(3,),
+            equivocate_rate=0.6,
+            forge_rate=0.5,
+            replay_rate=0.6,
+        )
+        attacked = run_networked(
+            derived,
+            inputs,
+            seed=seed,
+            byzantine=ByzantineConfig(f=1, plan=plan),
+        )
+        mismatch = _run_mismatch(truth, attacked)
+        if mismatch is not None:
+            return self._fail(
+                f"k=4 f=1 run under the byzantine plan diverged: {mismatch}"
+            )
+        reference = mutations.byzantine_reference(
+            derived, inputs, seed, f=1, bug=bug
+        )
+        mismatch = _run_mismatch(truth, reference)
+        if mismatch is not None:
+            return self._fail(
+                f"quorum-counting reference diverged on the k=4 run: "
+                f"{mismatch}"
+            )
+        return self._ok(
+            f"{checked} honest tuples (f={f_max}) and the attacked "
+            f"{type(derived).__name__} run bit-identical"
+        )
+
+
 class StoreRoundtripOracle(Oracle):
     """Cached serving through ``repro.store`` vs fresh computation.
 
@@ -628,6 +739,7 @@ ALL_ORACLES: Tuple[Oracle, ...] = (
     ClosedFormOracle(),
     SamplerOracle(),
     NetworkOracle(),
+    ByzantineBlackboardOracle(),
     StoreRoundtripOracle(),
     MonteCarloOracle(),
 )

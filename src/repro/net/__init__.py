@@ -24,10 +24,26 @@ corruption, drops, crash-restart with blackboard catch-up).
 Unrecoverable faults raise typed :class:`NetError` subclasses; nothing
 in this package hangs.  See ``docs/networking.md`` for the wire format,
 the coin-stream replication argument, and the fault model.
+
+``run_networked(..., byzantine=f)`` additionally layers Bracha '87
+reliable broadcast (:mod:`~repro.net.byzantine`) beneath the
+blackboard: with up to ``f`` lying parties and ``k > 3f`` the same
+bit-identity contract holds; at ``k <= 3f`` violations raise the typed
+:class:`ByzantineQuorumError` instead of hanging or diverging.
 """
 
+from .byzantine import (
+    ALL_PARTIES,
+    SERVER,
+    BrachaRelay,
+    ByzantineConfig,
+    ByzantineParty,
+    echo_quorum,
+    ready_quorum,
+)
 from .client import PartyClient, RetryPolicy
 from .errors import (
+    ByzantineQuorumError,
     CrashedPartyError,
     FrameCorrupted,
     FrameError,
@@ -38,10 +54,14 @@ from .errors import (
     RetriesExhaustedError,
 )
 from .faults import (
+    ByzantineAdversary,
+    ByzantineDecision,
+    ByzantineFaultPlan,
     FaultDecision,
     FaultInjector,
     FaultPlan,
     PartyCrash,
+    byzantine_fault_plans,
     chaos_plan,
     recoverable_fault_plans,
 )
@@ -87,6 +107,18 @@ __all__ = [
     "PartyCrash",
     "recoverable_fault_plans",
     "chaos_plan",
+    # byzantine layer
+    "ByzantineConfig",
+    "BrachaRelay",
+    "ByzantineParty",
+    "ByzantineFaultPlan",
+    "ByzantineDecision",
+    "ByzantineAdversary",
+    "byzantine_fault_plans",
+    "echo_quorum",
+    "ready_quorum",
+    "SERVER",
+    "ALL_PARTIES",
     # errors
     "NetError",
     "FrameError",
@@ -96,4 +128,5 @@ __all__ = [
     "RetriesExhaustedError",
     "CrashedPartyError",
     "NetTimeoutError",
+    "ByzantineQuorumError",
 ]

@@ -166,6 +166,16 @@ class PartyClient:
         """How long the transport should wait before the next watchdog."""
         return self.retry_policy.timeout_after(self._retries)
 
+    @property
+    def expected_speaker(self) -> int:
+        """Who may write the next board round, per the model's discipline.
+
+        ``next_speaker`` is a function of the board alone, so every party
+        computes the same answer — the byzantine layer leans on this to
+        validate the claimed author of each Bracha SEND against its own
+        board view instead of trusting the wire."""
+        return self._protocol.next_speaker(self._state, self._board)
+
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------

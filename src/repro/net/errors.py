@@ -25,6 +25,7 @@ __all__ = [
     "RetriesExhaustedError",
     "CrashedPartyError",
     "NetTimeoutError",
+    "ByzantineQuorumError",
 ]
 
 
@@ -64,3 +65,17 @@ class CrashedPartyError(NetError):
 
 class NetTimeoutError(NetError):
     """The run exceeded its step or wall-clock budget before halting."""
+
+
+class ByzantineQuorumError(NetError):
+    """Bracha reliable broadcast could not reach its quorums.
+
+    Raised when the byzantine-tolerant layer detects that a round can
+    never be delivered: either *structurally* (all ``k`` echo votes are
+    in and no value reached the ``ceil((k+f+1)/2)`` echo quorum — an
+    equivocation split) or by *stall* (the retry budget ran out while a
+    Bracha session for the pending round was still undelivered — e.g.
+    silent byzantine parties starving the quorum).  Both are the
+    ``k <= 3f`` failure modes the tolerance threshold is stated
+    against; with ``k > 3f`` honest parties always outvote the
+    adversary and this error cannot fire."""

@@ -41,8 +41,10 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .framing import Frame, FrameKind
 
 __all__ = [
     "PartyCrash",
@@ -52,6 +54,10 @@ __all__ = [
     "NO_FAULT",
     "recoverable_fault_plans",
     "chaos_plan",
+    "ByzantineFaultPlan",
+    "ByzantineDecision",
+    "ByzantineAdversary",
+    "byzantine_fault_plans",
 ]
 
 
@@ -205,3 +211,232 @@ def chaos_plan(seed: int = 0) -> FaultPlan:
         crashes=(PartyCrash(party=0, after_round=0),),
         max_faults=48,
     )
+
+
+# ----------------------------------------------------------------------
+# Byzantine fault plans (loopback-only, like everything above).
+#
+# Where `FaultPlan` models an *honest-but-unreliable* network, a
+# `ByzantineFaultPlan` models *lying parties*: the adversary rewrites or
+# injects party-to-party Bracha traffic originating at compromised
+# parties.  Three byzantine classes plus persistent silence:
+#
+# =================  ==================================================
+# ``equivocate``     a compromised party's ECHO/READY vote carries a
+#                    conflicting payload to one of its destinations —
+#                    either *replacing* the honest copy ("split") or
+#                    arriving *alongside* it ("double", locally
+#                    detectable as equivocation).  SENDs are exempt by
+#                    design: under a byzantine *speaker* Bracha only
+#                    promises agreement, not delivery (a split SEND may
+#                    legally deliver nothing even at k = 3f + 1), so a
+#                    SEND-equivocating adversary would void the
+#                    bit-identity invariant this plan exists to test.
+#                    Wrong SEND payloads are instead exercised by
+#                    ``forge`` below, where author validation and
+#                    first-write-wins equivocation detection keep the
+#                    true value.
+# ``forge``          a SEND (APPEND frame) claiming the compromised
+#                    party as author is injected toward one
+#                    destination; relays validate the claimed author
+#                    against their locally-computed ``next_speaker``
+#                    and reject wrong-party APPENDs.
+# ``replay``         a stale, previously-sent ECHO/READY of the
+#                    compromised party is re-injected verbatim; vote
+#                    deduplication makes it a no-op.
+# ``silent``         listed parties *withhold* all their ECHO/READY
+#                    votes (they still run the protocol and speak their
+#                    own rounds — refusing to speak at all is outside
+#                    the broadcast model, where inputs must eventually
+#                    be communicated).  Silence is persistent behavior,
+#                    not a per-event fault, so it is never budgeted.
+# =================  ==================================================
+#
+# The same stability discipline as `FaultInjector` applies: a fixed
+# number of variates is drawn per broadcast batch regardless of
+# outcome, so editing one rate never shifts another class's firing
+# pattern.  Lies are additionally *per-round consistent*: for a given
+# (origin, round) the poisoned destination and the evil payload are
+# derived from the seed, not from the main decision stream, so however
+# often the adversary fires within a round it poisons the same single
+# destination with the same wrong value.  That is what makes the
+# headline invariant testable — each compromised party corrupts at most
+# one destination's view per round, at most `f` in total, and with
+# `k > 3f` the `k - f` clean views still reach every quorum, so the
+# committed board stays bit-identical to `run_protocol`.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ByzantineFaultPlan:
+    """A seeded schedule of byzantine (lying-party) behavior."""
+
+    seed: int = 0
+    #: Parties whose outbound Bracha traffic the adversary may rewrite.
+    parties: Tuple[int, ...] = ()
+    equivocate_rate: float = 0.0
+    forge_rate: float = 0.0
+    replay_rate: float = 0.0
+    #: ``"split"`` replaces the honest copy, ``"double"`` sends both,
+    #: ``"mixed"`` chooses per firing from the seeded stream.
+    equivocation: str = "mixed"
+    #: Parties that withhold every ECHO/READY vote (quorum starvation).
+    silent: Tuple[int, ...] = ()
+    #: Total budgeted lies (equivocations + forgeries + replays);
+    #: ``None`` removes the budget.  Silence is not budgeted.
+    max_faults: Optional[int] = 64
+
+    def __post_init__(self) -> None:
+        for name in ("equivocate_rate", "forge_rate", "replay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.equivocation not in ("mixed", "split", "double"):
+            raise ValueError(
+                f"equivocation must be 'mixed', 'split' or 'double', "
+                f"got {self.equivocation!r}"
+            )
+
+    @property
+    def compromised(self) -> Tuple[int, ...]:
+        """All faulty parties — active liars plus the silent ones."""
+        return tuple(sorted(set(self.parties) | set(self.silent)))
+
+
+@dataclass(frozen=True)
+class ByzantineDecision:
+    """What the adversary did to one broadcast batch."""
+
+    #: The ``(destination, frame)`` pairs actually placed on the wire.
+    sends: Tuple[Tuple[int, Frame], ...]
+    #: Which classes fired: subset of equivocate/forge/replay/silence.
+    fired: Tuple[str, ...] = ()
+
+
+class ByzantineAdversary:
+    """Rewrites broadcast batches from compromised parties, seeded.
+
+    The transport calls :meth:`on_broadcast` once per ``ALL_PARTIES``
+    fan-out whose origin is compromised; honest parties' traffic never
+    passes through the adversary, and a party's self-delivered frames
+    (its own votes) never cross the wire at all.
+    """
+
+    #: Variates drawn per on_broadcast call — fixed, for stream stability.
+    DRAWS_PER_BATCH = 4
+
+    def __init__(self, plan: ByzantineFaultPlan, num_players: int) -> None:
+        self._plan = plan
+        self._k = num_players
+        self._rng = _derive_rng("repro.net.byzantine", plan.seed)
+        self._injected = 0
+        #: Last vote frame seen from each compromised party (replay pool).
+        self._vote_cache: Dict[int, Frame] = {}
+
+    @property
+    def plan(self) -> ByzantineFaultPlan:
+        return self._plan
+
+    @property
+    def injected(self) -> int:
+        """Budgeted lies injected so far (silence not included)."""
+        return self._injected
+
+    def on_broadcast(
+        self, origin: int, frame: Frame, dests: Sequence[int]
+    ) -> ByzantineDecision:
+        """Decide the fate of one broadcast batch from ``origin``."""
+        plan = self._plan
+        # Fixed draws per batch, regardless of outcome (stability).
+        u_equiv = self._rng.random()
+        u_forge = self._rng.random()
+        u_replay = self._rng.random()
+        u_style = self._rng.random()
+
+        is_vote = frame.kind in (FrameKind.ECHO, FrameKind.READY)
+        stale = self._vote_cache.get(origin)
+        if is_vote:
+            self._vote_cache[origin] = frame
+        if origin in plan.silent and is_vote:
+            return ByzantineDecision(sends=(), fired=("silence",))
+
+        sends: List[Tuple[int, Frame]] = [(d, frame) for d in dests]
+        fired: List[str] = []
+        budget_left = (
+            plan.max_faults is None or self._injected < plan.max_faults
+        )
+        if origin not in plan.parties or not dests or not budget_left:
+            return ByzantineDecision(sends=tuple(sends), fired=tuple(fired))
+
+        target, evil = self._round_lie(origin, frame)
+        if (
+            u_equiv < plan.equivocate_rate
+            and is_vote
+            and frame.payload
+            and evil is not None
+        ):
+            style = plan.equivocation
+            if style == "mixed":
+                style = "split" if u_style < 0.5 else "double"
+            slot = dests.index(target)
+            if style == "split":
+                sends[slot] = (target, evil)
+            else:
+                sends.insert(slot + 1, (target, evil))
+            self._injected += 1
+            fired.append("equivocate")
+        if u_forge < plan.forge_rate and frame.payload and evil is not None:
+            forged = replace(
+                evil, kind=FrameKind.APPEND, party=origin, trace_id=None,
+                parent_span=None,
+            )
+            sends.append((target, forged))
+            self._injected += 1
+            fired.append("forge")
+        if u_replay < plan.replay_rate and stale is not None:
+            sends.append((target, stale))
+            self._injected += 1
+            fired.append("replay")
+        return ByzantineDecision(sends=tuple(sends), fired=tuple(fired))
+
+    def _round_lie(
+        self, origin: int, frame: Frame
+    ) -> Tuple[int, Optional[Frame]]:
+        """The (target, evil frame) for this (origin, round) — derived
+        from the seed alone so repeated firings within a round poison
+        the same destination with the same conflicting value."""
+        rng = _derive_rng(
+            "repro.net.byzantine.lie", self._plan.seed, origin, frame.round_index
+        )
+        dests = [p for p in range(self._k) if p != origin]
+        target = dests[rng.randrange(len(dests))]
+        if not frame.payload:
+            return target, None
+        flipped = ("1" if frame.payload[0] == "0" else "0") + frame.payload[1:]
+        return target, replace(
+            frame, payload=flipped, trace_id=None, parent_span=None
+        )
+
+
+def byzantine_fault_plans(seed: int = 0, *, party: int = 1) -> Dict[str, ByzantineFaultPlan]:
+    """One canonical plan per byzantine class, compromising ``party``.
+
+    Each plan corrupts a single party, so any run with ``f >= 1`` and
+    ``k > 3f`` must absorb all of them bit-identically — the byzantine
+    acceptance sweep mirrors ``recoverable_fault_plans``.
+    """
+    return {
+        "equivocate": ByzantineFaultPlan(
+            seed=seed, parties=(party,), equivocate_rate=0.6
+        ),
+        "forge": ByzantineFaultPlan(seed=seed, parties=(party,), forge_rate=0.5),
+        "replay": ByzantineFaultPlan(seed=seed, parties=(party,), replay_rate=0.6),
+        "silent": ByzantineFaultPlan(seed=seed, silent=(party,)),
+        "byz-chaos": ByzantineFaultPlan(
+            seed=seed,
+            parties=(party,),
+            equivocate_rate=0.4,
+            forge_rate=0.25,
+            replay_rate=0.4,
+        ),
+    }

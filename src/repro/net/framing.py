@@ -118,6 +118,15 @@ class FrameKind(IntEnum):
     #: server → client: the client's last request violated the board
     #: contract; the client raises ``OrderViolationError``.
     ERROR = 6
+    #: party → party (byzantine mode): "I have seen the speaker's SEND
+    #: for this round and it carried this payload" — the first Bracha
+    #: voting phase.  ``party`` is the *voter*; the voted value is the
+    #: ``(payload, coin_draws)`` pair.
+    ECHO = 7
+    #: party → party (byzantine mode): "an echo quorum (or ``f+1``
+    #: readies) vouched for this payload" — the second Bracha voting
+    #: phase; ``2f+1`` of these deliver the round.
+    READY = 8
 
 
 @dataclass(frozen=True)

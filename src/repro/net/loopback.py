@@ -43,9 +43,17 @@ from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
 from ..obs.metrics import REGISTRY
 from ..obs.telemetry import get_telemetry
 from ..obs.trace import Tracer, get_tracer
+from .byzantine import ALL_PARTIES, SERVER, BrachaRelay, ByzantineConfig, ByzantineParty
 from .client import PartyClient, RetryPolicy
-from .errors import CrashedPartyError, FrameError, NetError, NetTimeoutError
-from .faults import FaultInjector, FaultPlan
+from .errors import (
+    ByzantineQuorumError,
+    CrashedPartyError,
+    FrameError,
+    NetError,
+    NetTimeoutError,
+    RetriesExhaustedError,
+)
+from .faults import ByzantineAdversary, FaultInjector, FaultPlan
 from .framing import Frame, decode_frame, encode_frame
 from .server import BlackboardServer
 
@@ -78,6 +86,7 @@ class LoopbackRunner:
         max_messages: int = DEFAULT_MAX_MESSAGES,
         max_steps: int = DEFAULT_MAX_STEPS,
         tracer: Optional[Tracer] = None,
+        byzantine: Optional[ByzantineConfig] = None,
     ) -> None:
         protocol.validate_inputs(inputs)
         self._protocol = protocol
@@ -89,7 +98,32 @@ class LoopbackRunner:
         self._tracer = tracer if tracer is not None else get_tracer()
         self._injector = FaultInjector(faults) if faults is not None else None
         self._server = BlackboardServer(protocol, tracer=self._tracer)
+        self._byzantine = byzantine
+        self._adversary: Optional[ByzantineAdversary] = None
+        if byzantine is not None:
+            k = protocol.num_players
+            if k < 2 * byzantine.f + 1:
+                raise ValueError(
+                    f"k={k} < 2f+1={2 * byzantine.f + 1}: the Bracha ready "
+                    f"quorum is unreachable even with every party honest"
+                )
+            if byzantine.plan is not None:
+                compromised = byzantine.plan.compromised
+                if any(p < 0 or p >= k for p in compromised):
+                    raise ValueError(
+                        f"byzantine plan compromises parties {compromised} "
+                        f"outside range(k={k})"
+                    )
+                if len(compromised) > byzantine.f:
+                    raise ValueError(
+                        f"byzantine plan compromises {len(compromised)} "
+                        f"parties but the config tolerates f={byzantine.f}"
+                    )
+                self._adversary = ByzantineAdversary(byzantine.plan, k)
         self._clients: List[Optional[PartyClient]] = [
+            None for _ in range(protocol.num_players)
+        ]
+        self._endpoints: List[Optional[ByzantineParty]] = [
             None for _ in range(protocol.num_players)
         ]
         #: Open ``net_party`` span per live party (lifetimes interleave,
@@ -107,7 +141,10 @@ class LoopbackRunner:
     # ------------------------------------------------------------------
     @property
     def faults_injected(self) -> int:
-        return self._injector.injected if self._injector is not None else 0
+        count = self._injector.injected if self._injector is not None else 0
+        if self._adversary is not None:
+            count += self._adversary.injected
+        return count
 
     def run(self) -> ProtocolRun:
         """Execute to completion; returns the same :class:`ProtocolRun`
@@ -128,6 +165,13 @@ class LoopbackRunner:
     # The event loop.
     # ------------------------------------------------------------------
     def _run(self) -> ProtocolRun:
+        try:
+            return self._loop()
+        except RetriesExhaustedError as exc:
+            self._raise_if_byzantine_stall(exc)
+            raise
+
+    def _loop(self) -> ProtocolRun:
         for party in range(self._protocol.num_players):
             self._spawn(party)
         steps = 0
@@ -151,6 +195,22 @@ class LoopbackRunner:
         raise NetTimeoutError(
             "loopback event queue drained before the run completed"
         )
+
+    def _raise_if_byzantine_stall(self, exc: RetriesExhaustedError) -> None:
+        """Retry exhaustion with a Bracha session stuck on the pending
+        round is quorum starvation (silent/withholding liars) — surface
+        it as the typed byzantine failure, not a generic retry error."""
+        if self._byzantine is None:
+            return
+        pending = len(self._server.board)
+        for endpoint in self._endpoints:
+            if endpoint is not None and endpoint.relay.undelivered(pending):
+                raise ByzantineQuorumError(
+                    f"round {pending}: retry budget exhausted while the "
+                    f"Bracha session was still undelivered — quorum "
+                    f"starvation (k={self._protocol.num_players}, "
+                    f"f={self._byzantine.f} requires k > 3f)"
+                ) from exc
 
     def _schedule(self, at: float, kind: str, payload: tuple) -> None:
         self._seq += 1
@@ -182,6 +242,18 @@ class LoopbackRunner:
             self._tracer.event_in(
                 span, "connect", party=party, transport="loopback"
             )
+        if self._byzantine is not None:
+            relay = BrachaRelay(
+                self._protocol.num_players,
+                self._byzantine.f,
+                party,
+                tracer=self._tracer,
+            )
+            endpoint = ByzantineParty(client, relay)
+            self._endpoints[party] = endpoint
+            self._dispatch(party, endpoint.connect())
+            self._arm(party)
+            return
         self._send_all(_SERVER, client.connect(), origin=party)
         self._arm(party)
 
@@ -205,6 +277,7 @@ class LoopbackRunner:
         if crash is None:
             return
         self._clients[party] = None
+        self._endpoints[party] = None
         self._timer_generation[party] = (
             self._timer_generation.get(party, 0) + 1
         )
@@ -250,7 +323,12 @@ class LoopbackRunner:
         client = self._clients[dest]
         if client is None:
             return  # addressed to a crashed party: lost on the floor
-        self._send_all(_SERVER, client.on_frame(frame), origin=dest)
+        if self._byzantine is not None:
+            endpoint = self._endpoints[dest]
+            assert endpoint is not None
+            self._dispatch(dest, endpoint.on_frame(frame))
+        else:
+            self._send_all(_SERVER, client.on_frame(frame), origin=dest)
         self._maybe_crash(dest)
         self._arm(dest)
 
@@ -260,7 +338,12 @@ class LoopbackRunner:
         client = self._clients[party]
         if client is None or client.done:
             return
-        frames = client.on_timeout()  # may raise RetriesExhaustedError
+        if self._byzantine is not None:
+            endpoint = self._endpoints[party]
+            assert endpoint is not None
+            actions = endpoint.on_timeout()  # may raise RetriesExhaustedError
+        else:
+            frames = client.on_timeout()  # may raise RetriesExhaustedError
         if self._telemetry:
             self._telemetry.retry()
         if self._tracer:
@@ -268,7 +351,10 @@ class LoopbackRunner:
                 self._party_spans.get(party),
                 "retry", party=party, attempt=client.retries,
             )
-        self._send_all(_SERVER, frames, origin=party)
+        if self._byzantine is not None:
+            self._dispatch(party, actions)
+        else:
+            self._send_all(_SERVER, frames, origin=party)
         self._arm(party)
 
     def _on_restart(self, party: int) -> None:
@@ -296,6 +382,58 @@ class LoopbackRunner:
                     parent_span=stamp,
                 )
             self._transmit(dest, frame)
+
+    def _dispatch(
+        self, origin: int, actions: List[Tuple[int, Frame]]
+    ) -> None:
+        """Byzantine-mode transmit: expand :data:`ALL_PARTIES` fan-outs
+        (through the adversary when the origin is compromised) and route
+        :data:`SERVER`-addressed frames to the blackboard."""
+        stamp: Optional[int] = None
+        if self._tracer:
+            stamp = self._party_spans.get(origin)
+        for dest, frame in actions:
+            if stamp is not None:
+                frame = replace(
+                    frame,
+                    trace_id=self._tracer.trace_id,
+                    parent_span=stamp,
+                )
+            if dest == ALL_PARTIES:
+                dests = [
+                    p
+                    for p in range(self._protocol.num_players)
+                    if p != origin
+                ]
+                if (
+                    self._adversary is not None
+                    and origin in self._adversary.plan.compromised
+                ):
+                    decision = self._adversary.on_broadcast(
+                        origin, frame, dests
+                    )
+                    self._note_byzantine(decision.fired, origin)
+                    for d, mangled in decision.sends:
+                        self._transmit(d, mangled)
+                else:
+                    for d in dests:
+                        self._transmit(d, frame)
+            elif dest == SERVER:
+                self._transmit(_SERVER, frame)
+            else:
+                self._transmit(dest, frame)
+
+    def _note_byzantine(self, fired: Tuple[str, ...], origin: int) -> None:
+        for fault in fired:
+            name = f"byz-{fault}"
+            if self._reg is not None:
+                self._reg.counter("net_faults_injected").inc(
+                    fault=name, transport="loopback"
+                )
+            if self._telemetry:
+                self._telemetry.fault(name)
+            if self._tracer:
+                self._tracer.event("fault", fault=name, party=origin)
 
     def _transmit(self, dest: int, frame: Frame) -> None:
         wire = bytearray(encode_frame(frame))

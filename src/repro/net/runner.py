@@ -28,9 +28,12 @@ from __future__ import annotations
 import random
 from typing import Any, Optional, Sequence
 
+from typing import Union
+
 from ..core.model import Protocol
 from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
 from ..obs.trace import Tracer
+from .byzantine import ByzantineConfig
 from .client import RetryPolicy
 from .faults import FaultPlan
 from .loopback import DEFAULT_MAX_STEPS, LoopbackRunner
@@ -54,6 +57,7 @@ def run_networked(
     max_steps: int = DEFAULT_MAX_STEPS,
     timeout: float = 60.0,
     tracer: Optional[Tracer] = None,
+    byzantine: Optional[Union[int, ByzantineConfig]] = None,
 ) -> ProtocolRun:
     """Execute ``protocol`` over a real transport.
 
@@ -89,12 +93,24 @@ def run_networked(
     tracer:
         Structured-trace sink (``net_run`` span, per-connection spans on
         TCP, fault/retry/connect events).
+    byzantine:
+        Run the Bracha reliable-broadcast layer beneath the blackboard
+        (:mod:`repro.net.byzantine`).  An ``int`` is shorthand for
+        ``ByzantineConfig(f=...)``; a full
+        :class:`~repro.net.byzantine.ByzantineConfig` may also carry a
+        :class:`~repro.net.faults.ByzantineFaultPlan` (loopback only)
+        that actively injects equivocation/forgery/replay/silence at up
+        to ``f`` compromised parties.  With ``k > 3f`` the run stays
+        bit-identical to ``run_protocol``; at ``k <= 3f`` violations
+        surface as :class:`~repro.net.errors.ByzantineQuorumError`.
 
     Returns
     -------
     ProtocolRun
         Identical to the in-memory runner's result for the same seed.
     """
+    if isinstance(byzantine, int):
+        byzantine = ByzantineConfig(f=byzantine)
     if transport == "loopback":
         return LoopbackRunner(
             protocol,
@@ -105,12 +121,18 @@ def run_networked(
             max_messages=max_messages,
             max_steps=max_steps,
             tracer=tracer,
+            byzantine=byzantine,
         ).run()
     if transport == "tcp":
         if faults is not None:
             raise ValueError(
                 "fault injection is loopback-only: TCP delivers reliably, "
                 "so a FaultPlan cannot be honored on transport='tcp'"
+            )
+        if byzantine is not None and byzantine.plan is not None:
+            raise ValueError(
+                "byzantine fault injection is loopback-only: pass a "
+                "ByzantineConfig without a plan on transport='tcp'"
             )
         return run_tcp(
             protocol,
@@ -120,6 +142,7 @@ def run_networked(
             max_messages=max_messages,
             timeout=timeout,
             tracer=tracer,
+            byzantine=byzantine,
         )
     raise ValueError(
         f"unknown transport {transport!r}; expected one of {TRANSPORTS}"

@@ -30,6 +30,7 @@ from ..core.model import Protocol
 from ..core.runner import DEFAULT_MAX_MESSAGES, ProtocolRun
 from ..obs.metrics import REGISTRY
 from ..obs.trace import Tracer, get_tracer
+from .byzantine import BrachaRelay, ByzantineConfig, ByzantineParty
 from .client import PartyClient, RetryPolicy
 from .errors import FrameCorrupted, NetError, NetTimeoutError
 from .framing import Frame, FrameDecoder, FrameKind, encode_frame
@@ -56,13 +57,33 @@ def run_tcp(
     max_messages: int = DEFAULT_MAX_MESSAGES,
     timeout: float = 60.0,
     tracer: Optional[Tracer] = None,
+    byzantine: Optional[ByzantineConfig] = None,
 ) -> ProtocolRun:
     """Execute ``protocol`` over real TCP sockets on ``127.0.0.1``.
 
     Blocking entry point; spins up its own event loop.  ``timeout``
     bounds the whole run in wall-clock seconds
     (:class:`~repro.net.errors.NetTimeoutError` on expiry).
+
+    With ``byzantine``, each party runs the Bracha reliable-broadcast
+    layer and the accept loop doubles as a message hub: ECHO/READY
+    votes and speaker SENDs are fanned out party-to-party, and only
+    relay-delivered APPENDs reach the blackboard server.  Byzantine
+    *fault injection* stays loopback-only (``byzantine.plan`` must be
+    ``None``; :func:`repro.net.runner.run_networked` enforces this).
     """
+    if byzantine is not None:
+        if byzantine.plan is not None:
+            raise ValueError(
+                "byzantine fault injection is loopback-only: pass a "
+                "ByzantineConfig without a plan on transport='tcp'"
+            )
+        if protocol.num_players < 2 * byzantine.f + 1:
+            raise ValueError(
+                f"k={protocol.num_players} < 2f+1={2 * byzantine.f + 1}: "
+                f"the Bracha ready quorum is unreachable even with every "
+                f"party honest"
+            )
     try:
         asyncio.get_running_loop()
     except RuntimeError:
@@ -88,6 +109,7 @@ def run_tcp(
                     retry=retry,
                     max_messages=max_messages,
                     tracer=tracer,
+                    byzantine=byzantine,
                 ),
                 timeout,
             )
@@ -106,6 +128,7 @@ async def _run_async(
     retry: RetryPolicy,
     max_messages: int,
     tracer: Tracer,
+    byzantine: Optional[ByzantineConfig] = None,
 ) -> ProtocolRun:
     reg = REGISTRY if REGISTRY.enabled else None
     board_server = BlackboardServer(protocol, tracer=tracer)
@@ -119,10 +142,29 @@ async def _run_async(
             )
             reg.counter("net_bytes_on_wire").inc(len(wire), transport="tcp")
 
+    def _write(receiver: int, out: Frame) -> None:
+        out_writer = writers.get(receiver)
+        if out_writer is None:
+            return
+        wire = encode_frame(out)
+        _count(out, wire)
+        out_writer.write(wire)
+
+    def _fan_out(out: Frame, exclude: int) -> None:
+        for receiver in sorted(writers):
+            if receiver != exclude:
+                _write(receiver, out)
+
     async def handle_connection(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         decoder = FrameDecoder()
+        # Which party owns this connection — learned from the frames
+        # only that party can author (HELLO/SYNC/BYE).  In byzantine
+        # mode APPENDs may name *another* party (a relay forwarding the
+        # speaker's delivered write), so they neither bind the writer
+        # nor identify the connection.
+        conn_party: Optional[int] = None
         try:
             while True:
                 data = await reader.read(_READ_CHUNK)
@@ -130,7 +172,33 @@ async def _run_async(
                     return
                 for frame in decoder.feed(data):
                     async with lock:
-                        if frame.kind in (
+                        if byzantine is not None:
+                            if frame.kind in (
+                                FrameKind.HELLO,
+                                FrameKind.SYNC,
+                                FrameKind.BYE,
+                            ):
+                                writers[frame.party] = writer
+                                conn_party = frame.party
+                            if frame.kind in (
+                                FrameKind.ECHO,
+                                FrameKind.READY,
+                            ):
+                                # Party-to-party vote: hub fan-out, the
+                                # blackboard never sees it.
+                                _fan_out(frame, exclude=frame.party)
+                                continue
+                            if (
+                                frame.kind == FrameKind.APPEND
+                                and conn_party == frame.party
+                            ):
+                                # The speaker's own APPEND is its Bracha
+                                # SEND: fan out to the other parties;
+                                # only relay-delivered forwards (from
+                                # *other* connections) reach the board.
+                                _fan_out(frame, exclude=frame.party)
+                                continue
+                        elif frame.kind in (
                             FrameKind.HELLO,
                             FrameKind.SYNC,
                             FrameKind.APPEND,
@@ -139,12 +207,7 @@ async def _run_async(
                             writers[frame.party] = writer
                         sends = board_server.handle(frame)
                         for receiver, out in sends:
-                            out_writer = writers.get(receiver)
-                            if out_writer is None:
-                                continue
-                            wire = encode_frame(out)
-                            _count(out, wire)
-                            out_writer.write(wire)
+                            _write(receiver, out)
         except (FrameCorrupted, ConnectionError):
             # A corrupt stream or a vanished peer: drop the connection;
             # the party's watchdog reconnect logic (SYNC) recovers, or
@@ -160,6 +223,17 @@ async def _run_async(
             retry=retry,
             max_messages=max_messages,
         )
+        endpoint: Any = client
+        if byzantine is not None:
+            endpoint = ByzantineParty(
+                client,
+                BrachaRelay(
+                    protocol.num_players,
+                    byzantine.f,
+                    party,
+                    tracer=tracer,
+                ),
+            )
         reader, writer = await asyncio.open_connection("127.0.0.1", port)
         # Connection lifetimes interleave inside one event loop, so
         # these are begin/end spans with an explicit parent — a
@@ -176,7 +250,16 @@ async def _run_async(
             tracer.event_in(span, "connect", party=party, transport="tcp")
         decoder = FrameDecoder()
 
-        async def send(frames: List[Frame]) -> None:
+        async def send(result: Any) -> None:
+            # The bare client returns frames; the byzantine endpoint
+            # returns (dest, frame) actions.  All frames travel up the
+            # party's single connection — the accept loop is the hub
+            # that interprets destinations (votes and SENDs fan out,
+            # everything else is for the blackboard).
+            frames: List[Frame] = [
+                item[1] if isinstance(item, tuple) else item
+                for item in result
+            ]
             for frame in frames:
                 if span is not None:
                     frame = replace(
@@ -191,15 +274,15 @@ async def _run_async(
                 await writer.drain()
 
         try:
-            await send(client.connect())
-            while not client.done:
+            await send(endpoint.connect())
+            while not endpoint.done:
                 try:
                     data = await asyncio.wait_for(
                         reader.read(_READ_CHUNK),
-                        timeout=client.timeout_hint(),
+                        timeout=endpoint.timeout_hint(),
                     )
                 except asyncio.TimeoutError:
-                    await send(client.on_timeout())
+                    await send(endpoint.on_timeout())
                     continue
                 if not data:
                     raise NetError(
@@ -207,8 +290,8 @@ async def _run_async(
                         f"before it halted"
                     )
                 for frame in decoder.feed(data):
-                    await send(client.on_frame(frame))
-                    if client.done:
+                    await send(endpoint.on_frame(frame))
+                    if endpoint.done:
                         break
         finally:
             if tracer:

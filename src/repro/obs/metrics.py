@@ -51,6 +51,14 @@ Metric naming used by the instrumented subsystems:
 ``net_bytes_on_wire``                 encoded frame bytes, by transport
 ``net_retries``                       party watchdog retries, by party
 ``net_faults_injected``               injected faults, by fault and transport
+``net_byz_echoes``                    Bracha ECHO votes counted, by party
+``net_byz_readies``                   Bracha READY votes counted, by party
+``net_byz_deliveries``                Bracha sessions delivered, by party
+``net_byz_equivocations_detected``    conflicting votes/SENDs rejected, by
+                                      party (first vote kept)
+``net_byz_replays_ignored``           stale or duplicate votes dropped, by
+                                      party
+``net_byz_forged_rejected``           wrong-author SENDs rejected, by party
 ``store_hits``                        result-store cache hits, by experiment
 ``store_misses``                      result-store misses, by experiment
 ``store_bytes``                       payload bytes served/persisted, by

@@ -1,0 +1,117 @@
+"""Wire-format properties of the byzantine vote frames (ECHO/READY).
+
+``test_framing_properties.py`` sweeps all frame kinds uniformly; the
+Bracha vote kinds added for ``repro.net.byzantine`` get their own
+*dedicated* exhaustive sweeps here because the byzantine layer leans on
+the codec harder than the blackboard path does: a vote frame whose
+corruption slipped through the CRC would be counted as an equivocation
+(or worse, a quorum vote) rather than retried, so "every single-bit flip
+is rejected" is a safety property, not just a robustness one.
+
+The vote identity on the wire is the full (party, round, payload,
+coin_draws) tuple — the round-trip property below checks field-for-field
+equality, pinning that no vote field is silently dropped or aliased by
+the codec.
+"""
+
+import pytest
+
+from repro.check.generator import derive_rng
+from repro.net import (
+    Frame,
+    FrameDecoder,
+    FrameError,
+    FrameKind,
+    FrameTruncated,
+    decode_frame,
+    encode_frame,
+)
+
+VOTE_KINDS = (FrameKind.ECHO, FrameKind.READY)
+
+
+def _random_vote(rng, kind) -> Frame:
+    trace_id = None
+    parent_span = None
+    if rng.randrange(2):
+        trace_id = rng.randrange(0, 2**63)
+        if rng.randrange(2):
+            parent_span = rng.randrange(0, 2**63)
+    return Frame(
+        kind=kind,
+        party=rng.randrange(0, 64),
+        round_index=rng.randrange(0, 4096),
+        coin_draws=rng.randrange(3),
+        payload="".join(
+            rng.choice("01") for _ in range(rng.randrange(1, 40))
+        ),
+        trace_id=trace_id,
+        parent_span=parent_span,
+    )
+
+
+def test_vote_kinds_are_registered():
+    assert FrameKind.ECHO.value == 7
+    assert FrameKind.READY.value == 8
+    assert len({k.value for k in FrameKind}) == len(list(FrameKind))
+
+
+@pytest.mark.parametrize("kind", VOTE_KINDS, ids=lambda k: k.name)
+@pytest.mark.parametrize("trial", range(20))
+def test_vote_round_trip_preserves_every_field(trial, kind):
+    rng = derive_rng(f"byz-framing-round-trip-{kind.name}", trial)
+    frame = _random_vote(rng, kind)
+    wire = encode_frame(frame)
+    decoded, consumed = decode_frame(wire)
+    assert consumed == len(wire)
+    assert decoded.kind == kind
+    assert decoded.party == frame.party
+    assert decoded.round_index == frame.round_index
+    assert decoded.coin_draws == frame.coin_draws
+    assert decoded.payload == frame.payload
+    assert decoded == frame
+
+
+@pytest.mark.parametrize("trial", range(6))
+def test_mixed_vote_stream_reassembles_at_any_chunking(trial):
+    rng = derive_rng("byz-framing-stream", trial)
+    frames = [
+        _random_vote(rng, rng.choice(VOTE_KINDS))
+        for _ in range(rng.randrange(2, 9))
+    ]
+    wire = b"".join(encode_frame(f) for f in frames)
+    cuts = sorted(rng.randrange(len(wire) + 1) for _ in range(5))
+    decoder = FrameDecoder()
+    seen = []
+    previous = 0
+    for cut in cuts + [len(wire)]:
+        seen.extend(decoder.feed(wire[previous:cut]))
+        previous = cut
+    assert seen == frames
+    assert decoder.pending_bytes == 0
+
+
+@pytest.mark.parametrize("kind", VOTE_KINDS, ids=lambda k: k.name)
+@pytest.mark.parametrize("trial", range(8))
+def test_every_strict_prefix_of_a_vote_is_truncated(trial, kind):
+    rng = derive_rng(f"byz-framing-truncation-{kind.name}", trial)
+    wire = encode_frame(_random_vote(rng, kind))
+    for cut in range(len(wire)):
+        with pytest.raises(FrameTruncated):
+            decode_frame(wire[:cut])
+
+
+@pytest.mark.parametrize("kind", VOTE_KINDS, ids=lambda k: k.name)
+@pytest.mark.parametrize("trial", range(8))
+def test_every_single_bit_flip_of_a_vote_is_rejected(trial, kind):
+    """Exhaustive over the whole datagram: no flipped bit may yield a
+    frame that covers the original datagram — a mangled vote is lost,
+    never miscounted."""
+    rng = derive_rng(f"byz-framing-corruption-{kind.name}", trial)
+    wire = encode_frame(_random_vote(rng, kind))
+    for bit in range(len(wire) * 8):
+        mangled = bytearray(wire)
+        mangled[bit // 8] ^= 0x80 >> (bit % 8)
+        with pytest.raises(FrameError):
+            frame, consumed = decode_frame(bytes(mangled))
+            assert consumed == len(wire), "flip escaped detection"

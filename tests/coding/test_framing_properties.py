@@ -36,7 +36,12 @@ def _random_frame(rng) -> Frame:
     kind = rng.choice(KINDS)
     payload = ""
     draws = 0
-    if kind in (FrameKind.APPEND, FrameKind.BROADCAST):
+    if kind in (
+        FrameKind.APPEND,
+        FrameKind.BROADCAST,
+        FrameKind.ECHO,
+        FrameKind.READY,
+    ):
         payload = "".join(rng.choice("01") for _ in range(rng.randrange(1, 40)))
         draws = rng.randrange(2)
     # Half of the sweep carries a trace-context extension, so every

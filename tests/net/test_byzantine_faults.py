@@ -1,0 +1,420 @@
+"""Unit pins for the byzantine machinery itself: the seeded adversary's
+determinism discipline and the Bracha relay's vote accounting.
+
+The adversary inherits the stability contract documented in
+``repro.net.faults``: a fixed number of variates per broadcast batch, so
+(a) the same seed replays the identical decision stream, and (b) editing
+one class's rate never shifts another class's firing pattern.  Lies are
+additionally *per-round consistent* — for a given (origin, round) the
+poisoned destination and the conflicting value are functions of the seed
+alone — which is the property that bounds each compromised party to one
+poisoned view per round and makes the ``k > 3f`` bit-identity invariant
+of ``tests/net/test_byzantine.py`` provable rather than probabilistic.
+"""
+
+import pytest
+
+from repro.net import (
+    ALL_PARTIES,
+    SERVER,
+    BrachaRelay,
+    ByzantineAdversary,
+    ByzantineFaultPlan,
+    ByzantineQuorumError,
+    Frame,
+    FrameKind,
+    echo_quorum,
+    ready_quorum,
+)
+
+
+def _echo(party, round_index, payload="1", draws=0):
+    return Frame(
+        kind=FrameKind.ECHO,
+        party=party,
+        round_index=round_index,
+        coin_draws=draws,
+        payload=payload,
+    )
+
+
+def _ready(party, round_index, payload="1", draws=0):
+    return Frame(
+        kind=FrameKind.READY,
+        party=party,
+        round_index=round_index,
+        coin_draws=draws,
+        payload=payload,
+    )
+
+
+def _send(party, round_index, payload="1", draws=0):
+    return Frame(
+        kind=FrameKind.APPEND,
+        party=party,
+        round_index=round_index,
+        coin_draws=draws,
+        payload=payload,
+    )
+
+
+def _traffic(origin, rounds=8):
+    """A plausible stream of broadcast batches from one party."""
+    frames = []
+    for r in range(rounds):
+        frames.append(_send(origin, r, payload=str(r % 2)))
+        frames.append(_echo(origin, r, payload=str(r % 2)))
+        frames.append(_ready(origin, r, payload=str(r % 2)))
+    return frames
+
+
+DESTS = (0, 1, 2)  # a k=4 fan-out from origin 3
+ORIGIN = 3
+
+
+# ----------------------------------------------------------------------
+# The seeded adversary.
+# ----------------------------------------------------------------------
+
+
+class TestAdversaryDeterminism:
+    def test_same_seed_same_decision_stream(self):
+        plan = ByzantineFaultPlan(
+            seed=7,
+            parties=(ORIGIN,),
+            equivocate_rate=0.5,
+            forge_rate=0.4,
+            replay_rate=0.5,
+        )
+        streams = []
+        for _ in range(2):
+            adversary = ByzantineAdversary(plan, num_players=4)
+            streams.append(
+                [
+                    adversary.on_broadcast(ORIGIN, frame, DESTS)
+                    for frame in _traffic(ORIGIN)
+                ]
+            )
+        assert streams[0] == streams[1]
+
+    def test_different_seed_different_decisions(self):
+        decisions = {}
+        for seed in (1, 2):
+            plan = ByzantineFaultPlan(
+                seed=seed, parties=(ORIGIN,), equivocate_rate=0.5
+            )
+            adversary = ByzantineAdversary(plan, num_players=4)
+            decisions[seed] = [
+                adversary.on_broadcast(ORIGIN, frame, DESTS).fired
+                for frame in _traffic(ORIGIN, rounds=16)
+            ]
+        assert decisions[1] != decisions[2]
+
+    def test_editing_one_rate_never_shifts_another_class(self):
+        """The stability discipline: the adversary draws a fixed number
+        of variates per batch, so turning forgery up cannot move the
+        equivocation firing pattern (and vice versa)."""
+
+        def fired_pattern(plan, name):
+            adversary = ByzantineAdversary(plan, num_players=4)
+            return [
+                name in adversary.on_broadcast(ORIGIN, frame, DESTS).fired
+                for frame in _traffic(ORIGIN, rounds=12)
+            ]
+
+        base = ByzantineFaultPlan(
+            seed=11, parties=(ORIGIN,), equivocate_rate=0.5, max_faults=None
+        )
+        edited = ByzantineFaultPlan(
+            seed=11,
+            parties=(ORIGIN,),
+            equivocate_rate=0.5,
+            forge_rate=0.9,
+            replay_rate=0.9,
+            max_faults=None,
+        )
+        assert fired_pattern(base, "equivocate") == fired_pattern(
+            edited, "equivocate"
+        )
+
+    def test_fixed_draws_per_batch_constant(self):
+        assert ByzantineAdversary.DRAWS_PER_BATCH == 4
+
+    def test_per_round_lie_is_consistent(self):
+        """Repeated firings within one round poison the same destination
+        with the same conflicting value."""
+        plan = ByzantineFaultPlan(
+            seed=3,
+            parties=(ORIGIN,),
+            equivocate_rate=1.0,
+            equivocation="split",
+            max_faults=None,
+        )
+        adversary = ByzantineAdversary(plan, num_players=4)
+        frame = _echo(ORIGIN, 5)
+        first = adversary.on_broadcast(ORIGIN, frame, DESTS)
+        second = adversary.on_broadcast(ORIGIN, frame, DESTS)
+        assert first.fired == second.fired == ("equivocate",)
+        assert first.sends == second.sends
+        evil = [f for _, f in first.sends if f.payload != frame.payload]
+        assert len(evil) == 1  # exactly one poisoned destination
+
+    def test_max_faults_budget_is_respected(self):
+        plan = ByzantineFaultPlan(
+            seed=5, parties=(ORIGIN,), equivocate_rate=1.0, max_faults=2
+        )
+        adversary = ByzantineAdversary(plan, num_players=4)
+        fired = []
+        for frame in _traffic(ORIGIN, rounds=10):
+            fired.append(adversary.on_broadcast(ORIGIN, frame, DESTS).fired)
+        assert adversary.injected == 2
+        # Once the budget is gone the adversary is a faithful relay.
+        last_fire = max(i for i, f in enumerate(fired) if f)
+        assert sum(1 for f in fired if f) == 2
+        assert all(f == () for f in fired[last_fire + 1 :])
+
+    def test_silence_suppresses_votes_but_not_sends(self):
+        """A silent party withholds ECHO/READY only — refusing to speak
+        its own rounds is outside the broadcast model — and silence is
+        persistent behavior, never counted against the lie budget."""
+        plan = ByzantineFaultPlan(seed=1, silent=(ORIGIN,))
+        adversary = ByzantineAdversary(plan, num_players=4)
+        vote = adversary.on_broadcast(ORIGIN, _echo(ORIGIN, 0), DESTS)
+        assert vote.sends == ()
+        assert vote.fired == ("silence",)
+        send = adversary.on_broadcast(ORIGIN, _send(ORIGIN, 0), DESTS)
+        assert [f for _, f in send.sends] == [_send(ORIGIN, 0)] * len(DESTS)
+        assert adversary.injected == 0
+
+    def test_equivocation_never_touches_sends(self):
+        """SENDs are exempt from equivocation by design (a byzantine
+        *speaker* voids Bracha's delivery guarantee even at k = 3f + 1);
+        only the vote stream carries conflicting payloads."""
+        plan = ByzantineFaultPlan(
+            seed=9, parties=(ORIGIN,), equivocate_rate=1.0, max_faults=None
+        )
+        adversary = ByzantineAdversary(plan, num_players=4)
+        for r in range(6):
+            send = _send(ORIGIN, r)
+            decision = adversary.on_broadcast(ORIGIN, send, DESTS)
+            assert "equivocate" not in decision.fired
+            assert all(f == send for _, f in decision.sends)
+
+    def test_forged_frames_claim_the_origin_as_author(self):
+        plan = ByzantineFaultPlan(
+            seed=13, parties=(ORIGIN,), forge_rate=1.0, max_faults=None
+        )
+        adversary = ByzantineAdversary(plan, num_players=4)
+        decision = adversary.on_broadcast(ORIGIN, _echo(ORIGIN, 2), DESTS)
+        assert "forge" in decision.fired
+        forged = [
+            f for _, f in decision.sends if f.kind == FrameKind.APPEND
+        ]
+        assert len(forged) == 1
+        assert forged[0].party == ORIGIN
+
+    def test_replay_reinjects_a_stale_vote_verbatim(self):
+        plan = ByzantineFaultPlan(
+            seed=17, parties=(ORIGIN,), replay_rate=1.0, max_faults=None
+        )
+        adversary = ByzantineAdversary(plan, num_players=4)
+        old_vote = _echo(ORIGIN, 0)
+        adversary.on_broadcast(ORIGIN, old_vote, DESTS)
+        decision = adversary.on_broadcast(ORIGIN, _echo(ORIGIN, 1), DESTS)
+        assert "replay" in decision.fired
+        replayed = [f for _, f in decision.sends if f.round_index == 0]
+        assert replayed == [old_vote]
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            ByzantineFaultPlan(equivocate_rate=1.5)
+        with pytest.raises(ValueError):
+            ByzantineFaultPlan(equivocation="sideways")
+        plan = ByzantineFaultPlan(parties=(2,), silent=(1,))
+        assert plan.compromised == (1, 2)
+
+
+# ----------------------------------------------------------------------
+# The Bracha relay state machine.
+# ----------------------------------------------------------------------
+
+
+class TestQuorumArithmetic:
+    def test_echo_quorum_values(self):
+        # ceil((k + f + 1) / 2), the Bracha echo threshold.
+        assert echo_quorum(4, 1) == 3
+        assert echo_quorum(3, 1) == 3
+        assert echo_quorum(7, 2) == 5
+        assert echo_quorum(10, 3) == 7
+
+    def test_ready_quorum_values(self):
+        assert ready_quorum(1) == 3
+        assert ready_quorum(2) == 5
+        assert ready_quorum(0) == 1
+
+    def test_honest_votes_cover_the_quorums_iff_k_exceeds_3f(self):
+        """The design inequality behind the bit-identity invariant: the
+        k - f honest votes reach both quorums exactly when k > 3f."""
+        for k in range(2, 12):
+            for f in range(0, (k - 1) // 2 + 1):
+                honest = k - f
+                covered = honest >= echo_quorum(k, f) and honest >= ready_quorum(f)
+                assert covered == (k > 3 * f), (k, f)
+
+
+class TestBrachaRelay:
+    def _relay(self, k=4, f=1, party=0):
+        relay = BrachaRelay(k, f, party)
+        relay.advance(0, 1)  # board empty, party 1 speaks round 0
+        return relay
+
+    def test_rejects_unreachable_ready_quorum(self):
+        with pytest.raises(ValueError, match="2f"):
+            BrachaRelay(2, 1, 0)
+
+    def test_valid_send_triggers_echo_broadcast(self):
+        relay = self._relay()
+        actions = relay.handle_send(_send(1, 0))
+        assert len(actions) == 1
+        dest, frame = actions[0]
+        assert dest == ALL_PARTIES
+        assert frame.kind == FrameKind.ECHO
+        assert frame.party == 0  # our vote, not the speaker's identity
+        assert frame.payload == "1"
+
+    def test_send_from_wrong_author_is_rejected(self):
+        relay = self._relay()
+        assert relay.handle_send(_send(2, 0)) == []
+        # The forged SEND must not have seeded a session value.
+        actions = relay.handle_send(_send(1, 0))
+        assert actions and actions[0][1].kind == FrameKind.ECHO
+
+    def test_echo_quorum_triggers_ready(self):
+        relay = self._relay()
+        relay.handle_send(_send(1, 0))
+        assert relay.handle_vote(_echo(0, 0)) == []
+        assert relay.handle_vote(_echo(1, 0)) == []
+        actions = relay.handle_vote(_echo(2, 0))
+        assert [f.kind for _, f in actions] == [FrameKind.READY]
+
+    def test_ready_quorum_triggers_delivery_to_server(self):
+        relay = self._relay()
+        relay.handle_send(_send(1, 0))
+        for voter in range(3):
+            relay.handle_vote(_echo(voter, 0))
+        relay.handle_vote(_ready(1, 0))
+        assert relay.handle_vote(_ready(2, 0)) == []  # 2 < 2f+1 = 3
+        # Our own READY went out at the echo quorum but only counts once
+        # it is routed back to us (the pump does this in production).
+        actions = relay.handle_vote(_ready(0, 0))
+        deliveries = [
+            (dest, f)
+            for dest, f in actions
+            if f.kind == FrameKind.APPEND
+        ]
+        assert deliveries
+        dest, append = deliveries[0]
+        assert dest == SERVER
+        assert append.party == 1  # the true author, not the relay
+        assert relay.undelivered(0) is False
+
+    def test_ready_amplification_without_echo_quorum(self):
+        """f + 1 READYs for one value trigger our READY even when the
+        echo quorum was never reached locally (Bracha's totality rule)."""
+        relay = self._relay()
+        relay.handle_send(_send(1, 0))
+        relay.handle_vote(_ready(2, 0))
+        actions = relay.handle_vote(_ready(3, 0))
+        assert [f.kind for _, f in actions] == [FrameKind.READY]
+
+    def test_duplicate_vote_is_ignored(self):
+        relay = self._relay()
+        relay.handle_send(_send(1, 0))
+        relay.handle_vote(_echo(2, 0))
+        assert relay.handle_vote(_echo(2, 0)) == []
+
+    def test_conflicting_vote_keeps_the_first(self):
+        relay = self._relay()
+        relay.handle_send(_send(1, 0))
+        relay.handle_vote(_echo(2, 0, payload="1"))
+        assert relay.handle_vote(_echo(2, 0, payload="0")) == []
+        # Only votes for the true value count toward the quorum.
+        relay.handle_vote(_echo(0, 0))
+        actions = relay.handle_vote(_echo(1, 0))
+        assert [f.kind for _, f in actions] == [FrameKind.READY]
+
+    def test_stale_vote_is_ignored(self):
+        relay = self._relay()
+        relay.advance(2, 1)
+        assert relay.handle_vote(_echo(2, 0)) == []
+
+    def test_vote_identity_includes_coin_draws(self):
+        """(payload, draws) is the vote value: same bits with different
+        draw counts are conflicting, not confirming."""
+        relay = self._relay()
+        relay.handle_send(_send(1, 0, draws=2))
+        relay.handle_vote(_echo(0, 0, draws=2))
+        relay.handle_vote(_echo(1, 0, draws=2))
+        # A matching payload with the wrong draw count must not complete
+        # the quorum...
+        assert relay.handle_vote(_echo(2, 0, draws=5)) == []
+        # ...but the correct identity from another voter does.
+        actions = relay.handle_vote(_echo(3, 0, draws=2))
+        assert [f.kind for _, f in actions] == [FrameKind.READY]
+
+    def test_structural_split_raises_typed_error(self):
+        relay = BrachaRelay(3, 1, 0)
+        relay.advance(0, 1)
+        relay.handle_send(_send(1, 0, payload="1"))
+        relay.handle_vote(_echo(0, 0, payload="1"))
+        relay.handle_vote(_echo(1, 0, payload="0"))
+        with pytest.raises(ByzantineQuorumError, match="k > 3f"):
+            relay.handle_vote(_echo(2, 0, payload="0"))
+
+    def test_future_send_is_buffered_until_the_board_catches_up(self):
+        relay = self._relay()
+        assert relay.handle_send(_send(2, 1)) == []
+        actions = relay.advance(1, 2)
+        assert [f.kind for _, f in actions] == [FrameKind.ECHO]
+
+    def test_stale_matching_send_is_reforwarded_for_replay(self):
+        """A committed round's SEND arriving late (the author's watchdog
+        re-sent) is pushed to the server, whose idempotent replay path
+        catches the author up."""
+        relay = self._relay()
+        send = _send(1, 0)
+        relay.handle_send(send)
+        for voter in range(4):
+            relay.handle_vote(_echo(voter, 0))
+        for voter in range(4):
+            relay.handle_vote(_ready(voter, 0))
+        relay.advance(1, 2)  # round 0 committed to the board
+        assert relay.handle_send(send) == [(SERVER, send)]
+
+    def test_stale_mismatching_send_is_rejected(self):
+        relay = self._relay()
+        relay.handle_send(_send(1, 0, payload="1"))
+        for voter in range(4):
+            relay.handle_vote(_echo(voter, 0))
+        for voter in range(4):
+            relay.handle_vote(_ready(voter, 0))
+        relay.advance(1, 2)
+        assert relay.handle_send(_send(1, 0, payload="0")) == []
+
+    def test_duplicate_send_reemits_current_votes(self):
+        """The recovery anchor: a re-sent SEND makes the relay repeat
+        its ECHO (and READY/APPEND once it has them), repairing any vote
+        lost to the adversary."""
+        relay = self._relay()
+        send = _send(1, 0)
+        relay.handle_send(send)
+        actions = relay.handle_send(send)
+        assert [f.kind for _, f in actions] == [FrameKind.ECHO]
+        for voter in range(4):
+            relay.handle_vote(_echo(voter, 0))
+        for voter in range(4):
+            relay.handle_vote(_ready(voter, 0))
+        actions = relay.handle_send(send)
+        kinds = [f.kind for _, f in actions]
+        assert kinds == [FrameKind.ECHO, FrameKind.READY, FrameKind.APPEND]
+        assert actions[-1][0] == SERVER
