@@ -7,7 +7,12 @@ vs parallel) and compares them against ``benchmarks/perf_baseline.json``.
 It also runs the vectorized-vs-legacy kernel head-to-heads (the batched
 tree walk and the batched dart sampler) and enforces their speedup
 floors — those are same-process ratio checks, so they need no baseline
-calibration.
+calibration.  The sweep fabric (docs/fabric.md) gets the same
+treatment: cold fabric-vs-serial sweep timing on E2's quick grid (the
+loopback coordination overhead is a ratio check with a ceiling) and
+warm-serve latency through a live ``FabricServer`` (p50/p99 over ~224
+requests from 8 concurrent clients, checked against the calibrated
+baseline).
 
 Usage::
 
@@ -58,6 +63,20 @@ SPEEDUP_FLOOR = 2.0
 #: bound workloads (wide sequential AND) cap nearer 7x.
 TREE_KERNEL_SPEEDUP_FLOOR = 10.0
 SAMPLER_KERNEL_SPEEDUP_FLOOR = 5.0
+
+#: Fabric cold-sweep overhead: the loopback fabric runs the same cell
+#: kernels in-process plus per-cell framing, CRC sealing, scheduling,
+#: and store write-through; that tax may cost at most this multiple of
+#: the bare serial write-through.  A same-process ratio (no calibration
+#: needed), but only enforced on >= MIN_CPUS_FOR_SPEEDUP_CHECK CPUs —
+#: on a starved box the coordinator and the timer share one core.  The
+#: TCP sweep (real worker subprocesses) is recorded, never enforced:
+#: on E2's quick grid one cell is ~75% of the work (Amdahl), so its
+#: wall-clock documents startup cost, not a regression signal.
+FABRIC_OVERHEAD_CEILING = 2.5
+FABRIC_WORKERS = 3
+FABRIC_SERVE_CLIENTS = 8
+FABRIC_SERVE_ROUNDS = 4  # 8 clients x 4 rounds x 7 keys = 224 requests
 
 #: The legacy runner's own historical default sweep (~2 s serial on the
 #: seed machine) — timed with ``kernel="legacy"`` so the parallel
@@ -259,6 +278,96 @@ def measure_kernel_speedups():
     }
 
 
+def measure_fabric():
+    """Fabric-vs-serial cold sweep timing on E2's quick grid plus
+    warm-serve latency through a live server.
+
+    The serial side is the bare write-through loop (the same
+    ``compute_cell_payload`` bodies every sweep path runs), so the
+    loopback ratio isolates the fabric's coordination tax.  The warm
+    serve hammers a pre-swept store from ``FABRIC_SERVE_CLIENTS``
+    concurrent clients and reports p50/p99 per request.
+    """
+    import shutil
+    import tempfile
+
+    from repro.fabric.cells import compute_cell_payload, sweep_keys
+    from repro.fabric.service import ServerThread, load_test
+    from repro.fabric.sweep import fabric_sweep
+    from repro.store.store import ResultStore
+
+    keys = sweep_keys("E2", quick=True)
+
+    def timed_cold(sweep):
+        root = tempfile.mkdtemp(prefix="repro-perf-fabric-")
+        try:
+            started = time.perf_counter()
+            sweep(ResultStore(root))
+            return time.perf_counter() - started
+        finally:
+            shutil.rmtree(root)
+
+    def serial(store):
+        for key in keys:
+            store.put(key, compute_cell_payload(key))
+
+    serial_s = min(timed_cold(serial) for _ in range(2))
+    loopback_s = min(
+        timed_cold(
+            lambda store: fabric_sweep(
+                keys,
+                store=store,
+                workers=FABRIC_WORKERS,
+                transport="loopback",
+            )
+        )
+        for _ in range(2)
+    )
+    tcp_s = timed_cold(
+        lambda store: fabric_sweep(
+            keys, store=store, workers=FABRIC_WORKERS, transport="tcp"
+        )
+    )
+
+    root = tempfile.mkdtemp(prefix="repro-perf-serve-")
+    try:
+        store = ResultStore(root)
+        fabric_sweep(
+            keys, store=store, workers=FABRIC_WORKERS, transport="loopback"
+        )
+        server = ServerThread(store)
+        try:
+            report = load_test(
+                "127.0.0.1",
+                server.port,
+                keys,
+                clients=FABRIC_SERVE_CLIENTS,
+                rounds=FABRIC_SERVE_ROUNDS,
+                expect_hits=True,
+            )
+        finally:
+            server.stop()
+    finally:
+        shutil.rmtree(root)
+
+    return {
+        "grid": "E2-quick",
+        "cells": len(keys),
+        "workers": FABRIC_WORKERS,
+        "serial_s": serial_s,
+        "fabric_loopback_s": loopback_s,
+        "fabric_tcp_s": tcp_s,
+        "loopback_overhead": loopback_s / serial_s,
+        "overhead_ceiling": FABRIC_OVERHEAD_CEILING,
+        "warm_serve": {
+            "clients": report["clients"],
+            "requests": report["requests"],
+            "p50_ms": report["p50_ms"],
+            "p99_ms": report["p99_ms"],
+        },
+    }
+
+
 def measure():
     results = {
         "calibration_s": best_of(calibration_workload, repeats=5),
@@ -274,6 +383,7 @@ def measure():
         "speedup_at_4_workers": serial_s / workers4_s,
     }
     results["kernel_speedups"] = measure_kernel_speedups()
+    results["fabric"] = measure_fabric()
     results["machine"] = {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
@@ -370,6 +480,52 @@ def check(baseline, current, tolerance):
                 f"{entry['speedup']:.1f}x (floor {entry['floor']}x)  "
                 f"{verdict}"
             )
+
+    fabric = current["fabric"]
+    enforce = cpus >= MIN_CPUS_FOR_SPEEDUP_CHECK
+    overhead = fabric["loopback_overhead"]
+    verdict = "ok"
+    if enforce and overhead > FABRIC_OVERHEAD_CEILING:
+        verdict = "REGRESSION"
+        failures.append(
+            f"fabric loopback sweep overhead {overhead:.2f}x > "
+            f"{FABRIC_OVERHEAD_CEILING}x ceiling over the serial "
+            f"write-through on {fabric['grid']}"
+        )
+    elif not enforce:
+        verdict = "recorded (ceiling not enforced on this machine)"
+    print(
+        f"  fabric cold sweep ({fabric['grid']}, {fabric['cells']} cells, "
+        f"{fabric['workers']} workers): serial {fabric['serial_s']:.3f}s, "
+        f"loopback {fabric['fabric_loopback_s']:.3f}s "
+        f"({overhead:.2f}x, ceiling {FABRIC_OVERHEAD_CEILING}x), "
+        f"tcp {fabric['fabric_tcp_s']:.3f}s (recorded)  {verdict}"
+    )
+    serve = fabric["warm_serve"]
+    base_serve = baseline.get("fabric", {}).get("warm_serve")
+    if base_serve is None:
+        print(
+            f"  fabric warm serve: p50 {serve['p50_ms']:.2f}ms, p99 "
+            f"{serve['p99_ms']:.2f}ms over {serve['requests']} requests "
+            f"(no baseline — run --update)"
+        )
+    else:
+        allowed_p99 = tolerance * base_serve["p99_ms"] * scale
+        verdict = "ok"
+        if enforce and serve["p99_ms"] > allowed_p99:
+            verdict = "REGRESSION"
+            failures.append(
+                f"fabric warm-serve p99 {serve['p99_ms']:.2f}ms > "
+                f"{tolerance}x calibrated baseline {allowed_p99:.2f}ms"
+            )
+        elif not enforce:
+            verdict = "recorded (ceiling not enforced on this machine)"
+        print(
+            f"  fabric warm serve: p50 {serve['p50_ms']:.2f}ms, p99 "
+            f"{serve['p99_ms']:.2f}ms over {serve['requests']} requests "
+            f"from {serve['clients']} clients  "
+            f"(p99 allowed {allowed_p99:.2f}ms)  {verdict}"
+        )
     return failures
 
 

@@ -45,7 +45,9 @@ __all__ = [
     "NET_BUGS",
     "BYZANTINE_BUGS",
     "STORE_BUGS",
+    "FABRIC_BUGS",
     "store_serve",
+    "fabric_schedule_reference",
     "networked_reference",
     "byzantine_reference",
     "legacy_joint_transcript_distribution",
@@ -1042,3 +1044,180 @@ def wrap_discipline_bug(base: Protocol, bug: str) -> Protocol:
     if bug == "broken-prefix":
         return BrokenPrefixProtocol(base)
     return ImpureStateProtocol(base)
+
+
+# ----------------------------------------------------------------------
+# 10. Fabric scheduler reference (for repro.fabric).
+# ----------------------------------------------------------------------
+FABRIC_BUGS: Tuple[str, ...] = ("duplicate-lease", "lost-result-on-steal")
+
+
+def fabric_schedule_reference(
+    num_cells: int,
+    num_workers: int,
+    events: Sequence[Tuple[str, int, float]],
+    *,
+    lease_timeout: float,
+    max_attempts: int,
+    drain_steps: int,
+    bug: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Independently re-derived serial copy of the
+    :class:`repro.fabric.scheduler.CellScheduler` policy contract.
+
+    Interprets the same abstract event script the ``fabric-scheduler``
+    oracle feeds the production scheduler.  Each event is
+    ``(kind, worker, now)`` with kinds ``"ask"`` (the worker requests a
+    cell), ``"done"`` / ``"fail"`` (the worker completes / fails its
+    smallest-indexed leased cell, if any), ``"tick"`` (expire
+    overdue leases) and ``"drop"`` (the worker dies and loses all its
+    leases).  After the script both sides run the identical
+    deterministic drain rule — round-robin ``tick``/``ask``/``done``
+    with the clock advancing one unit per step, for at most
+    ``drain_steps`` steps — so a faithful copy finishes every cell and
+    the summaries (full dispatch log, completion set, steal / expiry /
+    re-queue counters, typed exhaustion) must agree exactly.
+
+    The implementation is deliberately naive — plain lists instead of
+    deques, re-sorting instead of incremental bookkeeping — so a bug
+    shared with the production scheduler is unlikely.
+
+    Planted bugs:
+
+    * ``"duplicate-lease"`` — when every queue is empty but leases are
+      outstanding, the ask path re-dispatches the oldest in-flight cell
+      instead of answering "no work": the double-dispatch the lease
+      table exists to prevent (production asserts a leased cell is
+      never granted again).
+    * ``"lost-result-on-steal"`` — a completion for a *stolen* cell
+      releases the lease but is never recorded, so the cell silently
+      falls out of the sweep: the lost-update bug the
+      first-result-wins completion rule exists to prevent.
+    """
+    from ..net.errors import RetriesExhaustedError
+
+    _check_bug(bug, FABRIC_BUGS)
+    queues: List[List[int]] = [
+        [cell for cell in range(num_cells) if cell % num_workers == worker]
+        for worker in range(num_workers)
+    ]
+    leases: Dict[int, Tuple[int, float, bool]] = {}
+    attempts: Dict[int, int] = {}
+    completed: set = set()
+    log: List[Tuple[int, int, bool]] = []
+    counters = {"steals": 0, "expirations": 0, "requeues": 0}
+
+    def grant(worker: int, cell: int, now: float, stolen: bool) -> None:
+        attempts[cell] = attempts.get(cell, 0) + 1
+        leases[cell] = (worker, now + lease_timeout, stolen)
+        log.append((worker, cell, stolen))
+
+    def ask(worker: int, now: float) -> None:
+        if queues[worker]:
+            grant(worker, queues[worker].pop(0), now, stolen=False)
+            return
+        victim, victim_len = None, 0
+        for candidate in range(num_workers):
+            if len(queues[candidate]) > victim_len:
+                victim, victim_len = candidate, len(queues[candidate])
+        if victim is None:
+            if bug == "duplicate-lease" and leases:
+                # Double-dispatch the oldest in-flight cell.
+                grant(worker, min(leases), now, stolen=False)
+            return
+        counters["steals"] += 1
+        grant(worker, queues[victim].pop(), now, stolen=True)
+
+    def smallest_leased(worker: int) -> Optional[int]:
+        owned = sorted(
+            cell
+            for cell, (owner, _, _) in leases.items()
+            if owner == worker
+        )
+        return owned[0] if owned else None
+
+    def done(worker: int) -> None:
+        cell = smallest_leased(worker)
+        if cell is None:
+            return
+        _, _, stolen = leases.pop(cell)
+        if bug == "lost-result-on-steal" and stolen:
+            return  # lease released, result dropped on the floor
+        if cell in completed:
+            return
+        home = cell % num_workers
+        if cell in queues[home]:
+            queues[home].remove(cell)
+        completed.add(cell)
+
+    def requeue(cell: int) -> None:
+        if attempts.get(cell, 0) >= max_attempts:
+            raise RetriesExhaustedError(
+                f"reference: cell {cell} exhausted its dispatch budget"
+            )
+        counters["requeues"] += 1
+        queues[cell % num_workers].insert(0, cell)
+
+    def fail(worker: int) -> None:
+        cell = smallest_leased(worker)
+        if cell is None:
+            return
+        del leases[cell]
+        requeue(cell)
+
+    def tick(now: float) -> None:
+        overdue = sorted(
+            cell
+            for cell, (_, deadline, _) in leases.items()
+            if deadline <= now
+        )
+        for cell in overdue:
+            del leases[cell]
+            counters["expirations"] += 1
+            requeue(cell)
+
+    def drop(worker: int) -> None:
+        lost = sorted(
+            cell
+            for cell, (owner, _, _) in leases.items()
+            if owner == worker
+        )
+        for cell in lost:
+            del leases[cell]
+            requeue(cell)
+
+    exhausted = False
+    now = 0.0
+    try:
+        for kind, worker, at in events:
+            now = at
+            if kind == "ask":
+                ask(worker, at)
+            elif kind == "done":
+                done(worker)
+            elif kind == "fail":
+                fail(worker)
+            elif kind == "tick":
+                tick(at)
+            elif kind == "drop":
+                drop(worker)
+            else:
+                raise ValueError(f"unknown fabric event kind {kind!r}")
+        for step in range(drain_steps):
+            if len(completed) == num_cells:
+                break
+            now += 1.0
+            worker = step % num_workers
+            tick(now)
+            ask(worker, now)
+            done(worker)
+    except RetriesExhaustedError:
+        exhausted = True
+    return {
+        "dispatch_log": tuple(log),
+        "completed": tuple(sorted(completed)),
+        "steals": counters["steals"],
+        "expirations": counters["expirations"],
+        "requeues": counters["requeues"],
+        "exhausted": exhausted,
+    }

@@ -48,6 +48,13 @@ GeneratedCase`) and checks one cross-layer agreement property:
                       unreachable, corruption raises instead of
                       serving, and an independent minimal cell store
                       agrees on the served bytes.
+``fabric-scheduler``  the production work-stealing lease scheduler of
+                      ``repro.fabric`` and an independently re-derived
+                      serial reference (:func:`repro.check.mutations.
+                      fabric_schedule_reference`) replay the same
+                      seeded event script (asks, completions, failures,
+                      expiries, worker deaths) to *exactly* the same
+                      dispatch log, completion set, and counters.
 ==================== ==================================================
 
 Every oracle carries a ``bugs`` tuple naming the planted defects of
@@ -89,6 +96,7 @@ __all__ = [
     "NetworkOracle",
     "ByzantineBlackboardOracle",
     "StoreRoundtripOracle",
+    "FabricSchedulerOracle",
     "ALL_ORACLES",
     "oracle_by_name",
 ]
@@ -729,6 +737,152 @@ class StoreRoundtripOracle(Oracle):
         )
 
 
+class FabricSchedulerOracle(Oracle):
+    """Production work-stealing lease scheduler vs serial reference.
+
+    A seeded, state-independent event script — worker asks,
+    completions, observable failures, clock ticks, worker deaths — is
+    replayed against the production
+    :class:`repro.fabric.scheduler.CellScheduler` and against the
+    independently re-derived serial copy
+    (:func:`repro.check.mutations.fabric_schedule_reference`), followed
+    by the same deterministic round-robin drain.  The two must agree
+    *exactly* on the full dispatch log (who got which cell, in order,
+    stolen or not), the completion set, the steal / expiry / re-queue
+    counters, and whether a cell exhausted its typed retry budget.
+    ``done``/``fail`` events target the worker's smallest-indexed
+    leased cell, so the script needs no knowledge of scheduler state
+    and both sides interpret it identically.
+    """
+
+    name = "fabric-scheduler"
+    bugs = mutations.FABRIC_BUGS
+    lease_timeout = 2.0
+    max_attempts = 6
+
+    def _script(
+        self, case: GeneratedCase
+    ) -> Tuple[int, int, List[Tuple[str, int, float]]]:
+        rng = derive_rng(case.spec.seed, "fabric-scheduler")
+        num_cells = rng.randint(6, 12)
+        num_workers = rng.randint(2, 3)
+        events: List[Tuple[str, int, float]] = []
+        now = 0.0
+        for _ in range(rng.randint(30, 60)):
+            now += rng.uniform(0.3, 1.2)
+            roll = rng.random()
+            worker = rng.randrange(num_workers)
+            if roll < 0.45:
+                events.append(("ask", worker, now))
+            elif roll < 0.75:
+                events.append(("done", worker, now))
+            elif roll < 0.90:
+                events.append(("tick", 0, now))
+            elif roll < 0.95:
+                events.append(("fail", worker, now))
+            else:
+                events.append(("drop", worker, now))
+        return num_cells, num_workers, events
+
+    def _drive_production(
+        self,
+        num_cells: int,
+        num_workers: int,
+        events: List[Tuple[str, int, float]],
+        drain_steps: int,
+    ) -> Dict[str, Any]:
+        from ..fabric.scheduler import CellScheduler
+        from ..net.errors import RetriesExhaustedError
+
+        scheduler = CellScheduler(
+            num_cells,
+            num_workers,
+            lease_timeout=self.lease_timeout,
+            max_attempts=self.max_attempts,
+        )
+
+        def done(worker: int) -> None:
+            owned = scheduler.leased_to(worker)
+            if owned:
+                scheduler.complete(worker, owned[0])
+
+        def fail(worker: int) -> None:
+            owned = scheduler.leased_to(worker)
+            if owned:
+                scheduler.fail(worker, owned[0])
+
+        exhausted = False
+        now = 0.0
+        try:
+            for kind, worker, at in events:
+                now = at
+                if kind == "ask":
+                    scheduler.next_cell(worker, at)
+                elif kind == "done":
+                    done(worker)
+                elif kind == "fail":
+                    fail(worker)
+                elif kind == "tick":
+                    scheduler.expire(at)
+                else:  # "drop"
+                    scheduler.drop_worker(worker)
+            for step in range(drain_steps):
+                if scheduler.done:
+                    break
+                now += 1.0
+                worker = step % num_workers
+                scheduler.expire(now)
+                scheduler.next_cell(worker, now)
+                done(worker)
+        except RetriesExhaustedError:
+            exhausted = True
+        return {
+            "dispatch_log": tuple(scheduler.dispatch_log),
+            "completed": tuple(scheduler.completed_cells),
+            "steals": scheduler.steals,
+            "expirations": scheduler.expirations,
+            "requeues": scheduler.requeues,
+            "exhausted": exhausted,
+        }
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        num_cells, num_workers, events = self._script(case)
+        drain_steps = 10 * (num_cells + num_workers)
+        production = self._drive_production(
+            num_cells, num_workers, events, drain_steps
+        )
+        reference = mutations.fabric_schedule_reference(
+            num_cells,
+            num_workers,
+            events,
+            lease_timeout=self.lease_timeout,
+            max_attempts=self.max_attempts,
+            drain_steps=drain_steps,
+            bug=bug,
+        )
+        for field_name in (
+            "dispatch_log",
+            "completed",
+            "steals",
+            "expirations",
+            "requeues",
+            "exhausted",
+        ):
+            if production[field_name] != reference[field_name]:
+                return self._fail(
+                    f"{num_cells} cells / {num_workers} workers: "
+                    f"{field_name} diverged — production "
+                    f"{production[field_name]!r} vs reference "
+                    f"{reference[field_name]!r}"
+                )
+        return self._ok(
+            f"{num_cells} cells / {num_workers} workers: "
+            f"{len(production['dispatch_log'])} dispatches "
+            f"({production['steals']} steals, "
+            f"{production['expirations']} expiries) agree exactly"
+        )
+
+
 #: The full inventory, in the order the harness runs them (cheap and
 #: structural first so a malformed case fails fast).
 ALL_ORACLES: Tuple[Oracle, ...] = (
@@ -741,6 +895,7 @@ ALL_ORACLES: Tuple[Oracle, ...] = (
     NetworkOracle(),
     ByzantineBlackboardOracle(),
     StoreRoundtripOracle(),
+    FabricSchedulerOracle(),
     MonteCarloOracle(),
 )
 

@@ -121,6 +121,23 @@ def main(argv=None) -> int:
              "tables are byte-identical to the serial run)",
     )
     parser.add_argument(
+        "--fabric",
+        type=int,
+        metavar="N",
+        default=None,
+        help="shard store-backed experiment grids across N fabric "
+             "workers (requires --store; see docs/fabric.md); tables "
+             "are byte-identical to the serial run",
+    )
+    parser.add_argument(
+        "--fabric-transport",
+        choices=("loopback", "tcp"),
+        default=None,
+        help="fabric transport for --fabric: 'tcp' (the default) runs "
+             "real worker processes, 'loopback' a deterministic "
+             "in-process pool",
+    )
+    parser.add_argument(
         "--transport",
         choices=("memory", "loopback", "tcp"),
         default=None,
@@ -237,6 +254,12 @@ def main(argv=None) -> int:
                     runner, "fault_seed"
                 ):
                     kwargs["fault_seed"] = args.fault_seed
+                if args.fabric is not None and _supports_kwarg(
+                    runner, "fabric"
+                ):
+                    kwargs["fabric"] = args.fabric
+                    if args.fabric_transport is not None:
+                        kwargs["fabric_transport"] = args.fabric_transport
                 if args.kernel is not None and _supports_kwarg(
                     runner, "kernel"
                 ):

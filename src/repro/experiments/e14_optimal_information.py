@@ -80,6 +80,8 @@ def run(
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
     kernel: Optional[str] = None,
+    fabric: Optional[int] = None,
+    fabric_transport: str = "tcp",
 ) -> ExperimentTable:
     """Run the E14 sweep.
 
@@ -87,6 +89,11 @@ def run(
     engine (``"vectorized"``/``"legacy"``); the certified optima are
     bit-identical either way, so the kernel does not participate in the
     store cell address.
+
+    ``fabric`` (``--fabric N`` on the CLI) shards the main grid across
+    ``N`` fabric workers (requires ``store``; see docs/fabric.md); the
+    single external-IC contrast cell stays serial either way.  The table
+    is byte-identical to the serial path.
     """
     if kernel is not None and kernel not in kernels.KERNELS:
         raise ValueError(
@@ -107,15 +114,28 @@ def run(
         ],
     )
     ratios = []
-    measurements = checkpointed_map_grid(
-        functools.partial(_measure_grid_point, kernel=kernel),
-        list(ks),
-        store=store,
-        experiment="E14",
-        version=code_version("E14"),
-        params_of=lambda k: {"k": k},
-        workers=workers,
-    )
+    if fabric is not None:
+        from ..fabric.sweep import fabric_checkpointed_map_grid
+
+        measurements = fabric_checkpointed_map_grid(
+            list(ks),
+            store=store,
+            experiment="E14",
+            version=code_version("E14"),
+            params_of=lambda k: {"k": k},
+            workers=fabric,
+            transport=fabric_transport,
+        )
+    else:
+        measurements = checkpointed_map_grid(
+            functools.partial(_measure_grid_point, kernel=kernel),
+            list(ks),
+            store=store,
+            experiment="E14",
+            version=code_version("E14"),
+            params_of=lambda k: {"k": k},
+            workers=workers,
+        )
     for k, (optimum, sequential) in zip(ks, measurements):
         ratio = optimum / math.log2(k)
         ratios.append(ratio)

@@ -229,8 +229,17 @@ def run(
     fault_seed: Optional[int] = None,
     kernel: Optional[str] = None,
     quick: bool = False,
+    fabric: Optional[int] = None,
+    fabric_transport: str = "tcp",
 ) -> ExperimentTable:
     """Run the E1 sweep and return the result table.
+
+    ``fabric`` (``--fabric N`` on the CLI) shards the grid across ``N``
+    fabric workers instead of a local process pool (requires ``store``;
+    see docs/fabric.md).  Fabric cells are computed with the canonical
+    defaults (in-memory protocol transport, random-instance checks on),
+    which measure the same pure function of ``(n, k)``, so the table is
+    byte-identical to the serial path.
 
     ``quick`` (``--quick`` on the CLI) swaps the default grid for
     :data:`CLASSIC_GRID` — the pre-extension points every backend
@@ -293,22 +302,36 @@ def run(
             "opt/(n·lg(ek)+k)", "naive/(n·lg n+k)", "naive/opt",
         ],
     )
-    measurements = checkpointed_map_grid(
-        functools.partial(
-            _measure_grid_point,
-            check_random_instances=check_random_instances,
-            transport=transport,
-            fault_seed=fault_seed,
-            kernel=kernel,
-        ),
-        list(grid),
-        store=store,
-        experiment="E1",
-        version=code_version("E1"),
-        params_of=lambda point: {"n": point[0], "k": point[1]},
-        workers=workers,
-        base_seed=seed,
-    )
+    if fabric is not None:
+        from ..fabric.sweep import fabric_checkpointed_map_grid
+
+        measurements = fabric_checkpointed_map_grid(
+            list(grid),
+            store=store,
+            experiment="E1",
+            version=code_version("E1"),
+            params_of=lambda point: {"n": point[0], "k": point[1]},
+            base_seed=seed,
+            workers=fabric,
+            transport=fabric_transport,
+        )
+    else:
+        measurements = checkpointed_map_grid(
+            functools.partial(
+                _measure_grid_point,
+                check_random_instances=check_random_instances,
+                transport=transport,
+                fault_seed=fault_seed,
+                kernel=kernel,
+            ),
+            list(grid),
+            store=store,
+            experiment="E1",
+            version=code_version("E1"),
+            params_of=lambda point: {"n": point[0], "k": point[1]},
+            workers=workers,
+            base_seed=seed,
+        )
     optimal_ratios: List[float] = []
     for (n, k), (optimal_bits, naive_bits, trivial_bits) in zip(
         grid, measurements

@@ -88,6 +88,8 @@ def run(
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
     kernel: Optional[str] = None,
+    fabric: Optional[int] = None,
+    fabric_transport: str = "tcp",
 ) -> ExperimentTable:
     """Run the E2 sweep.
 
@@ -95,6 +97,11 @@ def run(
     engine (``"vectorized"``/``"legacy"``); the computed CIC values are
     bit-identical either way, so the kernel does not participate in the
     store cell address.
+
+    ``fabric`` (``--fabric N`` on the CLI) shards the grid across ``N``
+    fabric workers instead of a local process pool (requires ``store``;
+    see docs/fabric.md); the cell addresses and payloads are identical,
+    so the table is byte-identical to the serial path.
     """
     if kernel is not None and kernel not in kernels.KERNELS:
         raise ValueError(
@@ -114,15 +121,28 @@ def run(
         ],
     )
     ratios = []
-    measurements = checkpointed_map_grid(
-        functools.partial(_measure_grid_point, kernel=kernel),
-        list(ks),
-        store=store,
-        experiment="E2",
-        version=code_version("E2"),
-        params_of=lambda k: {"k": k},
-        workers=workers,
-    )
+    if fabric is not None:
+        from ..fabric.sweep import fabric_checkpointed_map_grid
+
+        measurements = fabric_checkpointed_map_grid(
+            list(ks),
+            store=store,
+            experiment="E2",
+            version=code_version("E2"),
+            params_of=lambda k: {"k": k},
+            workers=fabric,
+            transport=fabric_transport,
+        )
+    else:
+        measurements = checkpointed_map_grid(
+            functools.partial(_measure_grid_point, kernel=kernel),
+            list(ks),
+            store=store,
+            experiment="E2",
+            version=code_version("E2"),
+            params_of=lambda k: {"k": k},
+            workers=workers,
+        )
     for k, (cic_seq, cic_full, truncated) in zip(ks, measurements):
         log2k = math.log2(k)
         ratio = cic_seq / log2k if log2k > 0 else float("nan")

@@ -46,7 +46,15 @@ def run(
     budget_fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.875, 1.0),
     workers: Optional[int] = None,
     store: Optional[ResultStore] = None,
+    fabric: Optional[int] = None,
+    fabric_transport: str = "tcp",
 ) -> ExperimentTable:
+    """Run the E4 sweep.
+
+    ``fabric`` (``--fabric N`` on the CLI) shards the grid across ``N``
+    fabric workers instead of a local process pool (requires ``store``;
+    see docs/fabric.md); the table is byte-identical to the serial path.
+    """
     table = ExperimentTable(
         experiment_id="E4",
         title="Lemma 6 error cliff: truncated AND protocols under "
@@ -67,19 +75,33 @@ def run(
         for k in ks
         for fraction in budget_fractions
     ]
-    measurements = checkpointed_map_grid(
-        functools.partial(_measure_grid_point, eps_prime=eps_prime),
-        grid,
-        store=store,
-        experiment="E4",
-        version=code_version("E4"),
-        # eps_prime changes the measured errors, so it is part of the
-        # cell address alongside the grid point.
-        params_of=lambda point: {
-            "k": point[0], "budget": point[1], "eps_prime": eps_prime,
-        },
-        workers=workers,
-    )
+    # eps_prime changes the measured errors, so it is part of the
+    # cell address alongside the grid point.
+    params_of = lambda point: {  # noqa: E731
+        "k": point[0], "budget": point[1], "eps_prime": eps_prime,
+    }
+    if fabric is not None:
+        from ..fabric.sweep import fabric_checkpointed_map_grid
+
+        measurements = fabric_checkpointed_map_grid(
+            grid,
+            store=store,
+            experiment="E4",
+            version=code_version("E4"),
+            params_of=params_of,
+            workers=fabric,
+            transport=fabric_transport,
+        )
+    else:
+        measurements = checkpointed_map_grid(
+            functools.partial(_measure_grid_point, eps_prime=eps_prime),
+            grid,
+            store=store,
+            experiment="E4",
+            version=code_version("E4"),
+            params_of=params_of,
+            workers=workers,
+        )
     by_point = dict(zip(grid, measurements))
     crossovers: List[Tuple[int, float]] = []
     for k in ks:

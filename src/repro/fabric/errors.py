@@ -1,0 +1,48 @@
+"""Typed failure taxonomy for the sweep fabric.
+
+The fabric inherits the ``repro.net`` discipline: every unrecoverable
+failure raises a *typed* error, never a hang.  The hierarchy roots at
+:class:`~repro.net.errors.NetError` so callers that already catch
+networking failures catch fabric failures for free, and the fabric
+reuses :class:`~repro.net.errors.RetriesExhaustedError` (a cell's
+dispatch budget ran out) and :class:`~repro.net.errors.NetTimeoutError`
+(a wall-clock or step budget expired) verbatim — same semantics, same
+types.
+"""
+
+from __future__ import annotations
+
+from ..net.errors import (
+    NetError,
+    NetTimeoutError,
+    RetriesExhaustedError,
+)
+
+__all__ = [
+    "FabricError",
+    "FabricProtocolError",
+    "WorkerLostError",
+    "ServeError",
+    "NetTimeoutError",
+    "RetriesExhaustedError",
+]
+
+
+class FabricError(NetError):
+    """Base class for all fabric failures."""
+
+
+class FabricProtocolError(FabricError):
+    """A peer violated the fabric wire protocol: a malformed or
+    unexpected frame, a digest mismatch on a result transfer, or a
+    store-format / code-version disagreement."""
+
+
+class WorkerLostError(FabricError):
+    """Every worker in the pool died (or never connected) while cells
+    were still outstanding — the sweep cannot make progress."""
+
+
+class ServeError(FabricError):
+    """The result-serving endpoint answered with an ERROR frame (e.g.
+    an unregistered experiment or a version mismatch)."""

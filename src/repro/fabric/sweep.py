@@ -1,0 +1,181 @@
+"""The fabric sweep entry points: checkpointed grids over a worker pool.
+
+:func:`fabric_checkpointed_map_grid` is the fabric-shaped sibling of
+:func:`repro.store.sweep.checkpointed_map_grid` — same cell addresses
+(the same ``params_of`` dicts and the same full-grid
+:func:`~repro.perf.grid.derive_seed` seeds), same store-probe-first
+warm path, same return shape — but the missing cells are sharded
+across a coordinator/worker pool instead of a local process pool.
+Because the addresses and the cell functions are identical, the grid
+it returns is **byte-identical** to the serial path, whichever
+transport computed it, and a sweep killed at any point (coordinator or
+worker, even SIGKILL) resumes from the store checkpoint.
+
+:func:`fabric_sweep` is the key-level form the CLI and the serving
+layer use: given bare :class:`ResultKey` lists, warm the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..net.faults import FaultPlan
+from ..obs.telemetry import get_telemetry
+from ..obs.trace import get_tracer
+from ..perf.grid import derive_seed
+from ..store.keys import ResultKey
+from ..store.store import ResultStore, StoreCorruptedError
+from ..store.sweep import decode_result
+from .loopback import run_loopback_sweep
+from .scheduler import DEFAULT_MAX_ATTEMPTS
+from .tcp import run_tcp_sweep
+
+__all__ = [
+    "FABRIC_TRANSPORTS",
+    "fabric_sweep",
+    "fabric_checkpointed_map_grid",
+]
+
+FABRIC_TRANSPORTS = ("loopback", "tcp")
+
+
+def fabric_sweep(
+    keys: Sequence[ResultKey],
+    *,
+    store: ResultStore,
+    workers: int,
+    transport: str = "tcp",
+    faults: Optional[FaultPlan] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    timeout: float = 600.0,
+) -> Dict[str, int]:
+    """Warm ``store`` for every key: probe first, shard the misses
+    across the pool.  Returns ``{"cells": n, "hits": h, "computed": c}``.
+    """
+    if transport not in FABRIC_TRANSPORTS:
+        raise ValueError(
+            f"unknown fabric transport {transport!r}; expected one of "
+            f"{FABRIC_TRANSPORTS}"
+        )
+    if faults is not None and transport != "loopback":
+        raise ValueError(
+            "fault injection is loopback-only: pass transport='loopback' "
+            "with a fault plan (TCP delivers reliably)"
+        )
+    keys = list(keys)
+    missing: List[ResultKey] = []
+    for key in keys:
+        try:
+            payload = store.get(key)
+        except StoreCorruptedError:
+            store.delete(key)
+            payload = None
+        if payload is None:
+            missing.append(key)
+    tracer = get_tracer()
+    telemetry = get_telemetry()
+    experiment = keys[0].experiment if keys else "?"
+    if telemetry:
+        telemetry.start_sweep(
+            f"fabric:{experiment}", len(keys), hits=len(keys) - len(missing)
+        )
+    try:
+        with tracer.span(
+            "fabric_sweep",
+            transport=transport,
+            cells=len(keys),
+            hits=len(keys) - len(missing),
+            misses=len(missing),
+            workers=workers,
+        ):
+            if missing:
+                if transport == "loopback":
+                    run_loopback_sweep(
+                        missing,
+                        store=store,
+                        workers=workers,
+                        faults=faults,
+                        max_attempts=max_attempts,
+                    )
+                else:
+                    run_tcp_sweep(
+                        missing,
+                        store=store,
+                        workers=workers,
+                        max_attempts=max_attempts,
+                        timeout=timeout,
+                    )
+    finally:
+        if telemetry:
+            telemetry.finish_sweep()
+    return {
+        "cells": len(keys),
+        "hits": len(keys) - len(missing),
+        "computed": len(missing),
+    }
+
+
+def fabric_checkpointed_map_grid(
+    items: Sequence[Any],
+    *,
+    store: ResultStore,
+    experiment: str,
+    version: str,
+    params_of: Optional[Callable[[Any], Any]] = None,
+    base_seed: Optional[int] = None,
+    workers: int = 2,
+    transport: str = "tcp",
+    faults: Optional[FaultPlan] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    timeout: float = 600.0,
+) -> List[Any]:
+    """Evaluate a grid through the fabric; drop-in for
+    :func:`~repro.store.sweep.checkpointed_map_grid` minus the ``fn``
+    argument — the cells are computed by the registered fabric kernel
+    for ``experiment`` (:mod:`repro.fabric.cells`), which runs the same
+    pure cell function, so the results (and the store entries) are
+    byte-identical to the serial path.
+
+    Unlike the serial sibling, a ``store`` is mandatory: it is the
+    transfer substrate and the crash checkpoint.
+    """
+    if store is None:
+        raise ValueError(
+            "fabric sweeps require a result store (--store DIR): the "
+            "store is the transfer substrate and the crash checkpoint"
+        )
+    if params_of is None:
+        params_of = lambda item: item  # noqa: E731
+    items = list(items)
+    keys = [
+        ResultKey(
+            experiment=experiment,
+            params=params_of(item),
+            seed=(
+                derive_seed(base_seed, index)
+                if base_seed is not None
+                else None
+            ),
+            version=version,
+        )
+        for index, item in enumerate(items)
+    ]
+    fabric_sweep(
+        keys,
+        store=store,
+        workers=workers,
+        transport=transport,
+        faults=faults,
+        max_attempts=max_attempts,
+        timeout=timeout,
+    )
+    results: List[Any] = []
+    for key in keys:
+        payload = store.get(key)
+        if payload is None:  # pragma: no cover - sweep guarantees it
+            raise RuntimeError(
+                f"fabric sweep finished but {key.experiment} cell "
+                f"{key.params!r} is missing from the store"
+            )
+        results.append(decode_result(payload))
+    return results

@@ -64,6 +64,21 @@ Metric naming used by the instrumented subsystems:
 ``store_bytes``                       payload bytes served/persisted, by
                                       direction (``read``/``write``)
 ``store_evictions``                   entries evicted by ``gc``
+``fabric_cells_dispatched``           fabric leases granted, by experiment
+                                      and ``stolen`` (``yes``/``no``)
+``fabric_cells_completed``            fabric cells completed, by experiment
+``fabric_steals``                     work-stealing dispatches
+``fabric_retries``                    cell re-dispatches, by reason
+                                      (``lease-expired``/``worker-lost``/
+                                      ``error``)
+``fabric_leases_expired``             leases past their deadline
+``fabric_workers_lost``               worker connections/processes lost
+``fabric_frames``                     fabric wire frames sent, by kind and
+                                      transport
+``fabric_bytes_on_wire``              encoded fabric frame bytes, by
+                                      transport
+``fabric_requests``                   result-serving lookups, by outcome
+                                      (``hit``/``cold``) and experiment
 ``grid_tasks``                        sweep tasks submitted, by mode
 ``grid_workers`` (gauge)              worker-pool size of the last sweep
 ``grid_shm_bytes``                    result bytes received from workers

@@ -20,7 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .store import ResultStore
+from .store import DEFAULT_TMP_MAX_AGE_S, ResultStore
 
 
 def main(argv=None) -> int:
@@ -53,6 +53,12 @@ def main(argv=None) -> int:
         "--max-bytes", type=int, required=True, metavar="N",
         help="target store size in bytes",
     )
+    gc.add_argument(
+        "--tmp-max-age", type=float, default=DEFAULT_TMP_MAX_AGE_S,
+        metavar="S",
+        help="also reclaim orphaned .tmp-* files older than S seconds "
+             f"(default {DEFAULT_TMP_MAX_AGE_S:.0f}; 0 sweeps them all)",
+    )
 
     warm = sub.add_parser(
         "warm", help="run experiment sweeps through the store"
@@ -81,10 +87,16 @@ def main(argv=None) -> int:
         for path in report.corrupt:
             marker = "removed" if path in report.removed else "CORRUPT"
             print(f"  {marker}: {path}")
+        for path in report.orphaned:
+            marker = "removed" if path in report.removed else "orphaned tmp"
+            print(f"  {marker}: {path}")
         return 0 if report.ok else 1
 
     if args.command == "gc":
+        swept = store.sweep_tmp(max_age_s=args.tmp_max_age)
         evicted = store.gc(args.max_bytes)
+        if swept:
+            print(f"swept {len(swept)} orphaned tmp files")
         print(
             f"evicted {len(evicted)} entries; store now "
             f"{store.total_bytes()} bytes"

@@ -34,6 +34,15 @@ complete, identical entry and the last rename wins.  That makes the
 store safe as the shared cache under concurrent
 :func:`repro.perf.map_grid` workers with no locking at all.
 
+A SIGKILL in the window between the temp write and the rename *orphans*
+the ``.tmp-*`` file: it is invisible to ``get`` (entries are addressed
+by digest) but eats disk forever.  The maintenance surface sweeps such
+orphans: :meth:`ResultStore.stats` counts them, :meth:`verify_all`
+reports them (``--delete`` reclaims), and :meth:`gc` — as well as the
+explicit :meth:`sweep_tmp` — removes orphans older than
+``tmp_max_age_s`` (an age gate so a concurrent in-flight ``put``'s live
+temp file is never yanked out from under it).
+
 Eviction
 --------
 The store is size-bounded via :meth:`ResultStore.gc`: entries are
@@ -65,6 +74,7 @@ from ..obs.trace import get_tracer
 from .keys import ResultKey, canonical_json
 
 __all__ = [
+    "DEFAULT_TMP_MAX_AGE_S",
     "MAGIC",
     "StoreError",
     "StoreCorruptedError",
@@ -81,6 +91,11 @@ MAGIC = b"RPSTORE1"
 
 _HEADER_LEN_BYTES = 4
 _SUFFIX = ".res"
+_TMP_PREFIX = ".tmp-"
+
+#: Orphaned ``.tmp-*`` files younger than this are presumed to belong
+#: to an in-flight ``put`` and are left alone by the sweepers.
+DEFAULT_TMP_MAX_AGE_S = 3600.0
 
 
 class StoreError(Exception):
@@ -103,7 +118,7 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    fd, temp_path = tempfile.mkstemp(dir=directory, prefix=_TMP_PREFIX)
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
@@ -193,6 +208,10 @@ class StoreStats:
     entries: int
     total_bytes: int
     by_experiment: Dict[str, int]
+    #: Orphaned ``.tmp-*`` files (a SIGKILL between temp-write and
+    #: rename) and the bytes they hold.
+    tmp_files: int = 0
+    tmp_bytes: int = 0
 
     def render(self) -> str:
         lines = [
@@ -204,6 +223,12 @@ class StoreStats:
             lines.append(
                 f"  {experiment:<16} {self.by_experiment[experiment]} entries"
             )
+        if self.tmp_files:
+            lines.append(
+                f"  orphaned tmp: {self.tmp_files} files, "
+                f"{self.tmp_bytes} bytes (reclaim with gc or "
+                f"verify --delete)"
+            )
         return "\n".join(lines) + "\n"
 
 
@@ -214,6 +239,10 @@ class VerifyReport:
     checked: int
     corrupt: Tuple[str, ...] = ()
     removed: Tuple[str, ...] = ()
+    #: Orphaned ``.tmp-*`` files found next to the entries.  Not
+    #: corruption — ``get`` can never serve them — so they do not fail
+    #: :attr:`ok`, but ``delete=True`` reclaims them too.
+    orphaned: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -371,6 +400,52 @@ class ResultStore:
                     mtime=stat.st_mtime,
                 )
 
+    def tmp_files(self) -> Iterator[StoreEntry]:
+        """Every orphaned ``.tmp-*`` file (a write that never reached
+        its rename), in deterministic order.  ``digest`` is the bare
+        file name — temp files have no content address."""
+        objects = os.path.join(self.root, "objects")
+        if not os.path.isdir(objects):
+            return
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.startswith(_TMP_PREFIX):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:  # pragma: no cover - raced unlink
+                    continue
+                yield StoreEntry(
+                    digest=name,
+                    path=path,
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+
+    def sweep_tmp(
+        self, *, max_age_s: float = DEFAULT_TMP_MAX_AGE_S
+    ) -> List[str]:
+        """Remove orphaned ``.tmp-*`` files older than ``max_age_s``
+        seconds (age-gated so a concurrent in-flight ``put``'s live temp
+        file survives); returns the removed paths."""
+        import time
+
+        cutoff = time.time() - max_age_s
+        removed: List[str] = []
+        for orphan in self.tmp_files():
+            if orphan.mtime > cutoff:
+                continue
+            try:
+                os.unlink(orphan.path)
+            except OSError:  # pragma: no cover - raced unlink
+                continue
+            removed.append(orphan.path)
+        return removed
+
     def stats(self) -> StoreStats:
         """Aggregate statistics (reads every header)."""
         entries = 0
@@ -386,11 +461,14 @@ class ResultStore:
             except (OSError, StoreCorruptedError):
                 label = "<corrupt>"
             by_experiment[label] = by_experiment.get(label, 0) + 1
+        orphans = list(self.tmp_files())
         return StoreStats(
             root=self.root,
             entries=entries,
             total_bytes=total,
             by_experiment=by_experiment,
+            tmp_files=len(orphans),
+            tmp_bytes=sum(orphan.size for orphan in orphans),
         )
 
     def verify_all(self, *, delete: bool = False) -> VerifyReport:
@@ -415,14 +493,31 @@ class ResultStore:
                         removed.append(entry.path)
                     except OSError:  # pragma: no cover - raced unlink
                         pass
+        orphaned: List[str] = []
+        for orphan in self.tmp_files():
+            orphaned.append(orphan.path)
+            if delete:
+                try:
+                    os.unlink(orphan.path)
+                    removed.append(orphan.path)
+                except OSError:  # pragma: no cover - raced unlink
+                    pass
         return VerifyReport(
-            checked=checked, corrupt=tuple(corrupt), removed=tuple(removed)
+            checked=checked,
+            corrupt=tuple(corrupt),
+            removed=tuple(removed),
+            orphaned=tuple(orphaned),
         )
 
     def total_bytes(self) -> int:
         return sum(entry.size for entry in self.entries())
 
-    def gc(self, max_bytes: Optional[int] = None) -> List[str]:
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        *,
+        tmp_max_age_s: float = DEFAULT_TMP_MAX_AGE_S,
+    ) -> List[str]:
         """Evict least-recently-used entries until the store fits in
         ``max_bytes`` (default: the constructor's bound).
 
@@ -431,7 +526,13 @@ class ResultStore:
         is best-effort when the working set alone exceeds it.  Returns
         the evicted digests (deterministic order: oldest first, digest
         as tie-break).
+
+        Orphaned ``.tmp-*`` files older than ``tmp_max_age_s`` are
+        always swept first (even with no byte bound) — they are
+        unreachable by construction, so reclaiming them can never evict
+        anything a reader could want.
         """
+        self.sweep_tmp(max_age_s=tmp_max_age_s)
         bound = self.max_bytes if max_bytes is None else max_bytes
         if bound is None:
             return []

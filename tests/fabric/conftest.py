@@ -1,0 +1,38 @@
+"""Shared guard for the fabric suite: every test gets a deadline.
+
+The fabric contract mirrors ``repro.net``: every failure mode is a
+typed error, never a hang — a dead worker's lease expires, a dead pool
+raises ``WorkerLostError``, a wedged sweep hits its step or wall-clock
+budget.  An autouse SIGALRM watchdog turns any regression of that
+promise into a loud ``TimeoutError`` instead of a wedged test run (a
+no-op on platforms without SIGALRM).
+"""
+
+import signal
+
+import pytest
+
+#: Generous per-test wall-clock ceiling, seconds.  Individual tests are
+#: orders of magnitude faster; this only exists to catch hangs.
+TEST_DEADLINE_S = 120
+
+
+@pytest.fixture(autouse=True)
+def fabric_test_deadline():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - windows
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - only on regression
+        raise TimeoutError(
+            f"fabric test exceeded the {TEST_DEADLINE_S}s deadline — "
+            "repro.fabric must never hang"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_DEADLINE_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

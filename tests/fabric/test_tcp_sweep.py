@@ -1,0 +1,54 @@
+"""TCP fabric transport: real worker subprocesses over real sockets.
+
+Kept to one small real grid — subprocess spin-up dominates, and the
+protocol logic is the same sans-io core the loopback suite drills.
+"""
+
+import pytest
+
+from repro.fabric.errors import WorkerLostError
+from repro.fabric.sweep import fabric_sweep
+from repro.fabric.tcp import run_tcp_sweep
+from repro.store.keys import ResultKey, code_version
+from repro.store.store import ResultStore
+from repro.store.sweep import encode_result
+
+
+def _e2_keys(ks):
+    version = code_version("E2")
+    return [
+        ResultKey(experiment="E2", params={"k": k}, seed=None, version=version)
+        for k in ks
+    ]
+
+
+def test_tcp_sweep_computes_and_warms_the_store(tmp_path):
+    from repro.experiments.e2_and_information import _measure_grid_point
+
+    store = ResultStore(str(tmp_path / "store"))
+    keys = _e2_keys([2, 3, 4])
+    results = run_tcp_sweep(keys, store=store, workers=2, timeout=120.0)
+    assert sorted(results) == [0, 1, 2]
+    for i, k in enumerate([2, 3, 4]):
+        expected = encode_result(_measure_grid_point(k))
+        assert results[i] == expected
+        assert store.get(keys[i]) == expected
+
+    # Warm re-sweep through the entry point: zero recompute, no pool.
+    report = fabric_sweep(keys, store=store, workers=2, transport="tcp")
+    assert report == {"cells": 3, "hits": 3, "computed": 0}
+
+
+def test_tcp_sweep_dead_pool_is_typed(tmp_path):
+    """Workers that SIGKILL themselves before finishing leave the sweep
+    with a typed WorkerLostError, never a hang."""
+    store = ResultStore(str(tmp_path / "store"))
+    keys = _e2_keys([2, 3, 4, 6])
+    with pytest.raises(WorkerLostError):
+        run_tcp_sweep(
+            keys,
+            store=store,
+            workers=2,
+            timeout=120.0,
+            worker_env={"REPRO_FABRIC_TEST_KILL_AFTER": "0"},
+        )
