@@ -41,10 +41,13 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.model import Message, Protocol, Transcript
 from ..information.distribution import DiscreteDistribution
+from ..topology.medium import Link, LinkMessage, LinkTranscript
+from ..topology.protocol import MediumProtocol
 from .spec import CaseSpec
 
 __all__ = [
     "GeneratedProtocol",
+    "GeneratedCoordinatorProtocol",
     "GeneratedCase",
     "derive_rng",
     "random_prefix_code",
@@ -150,6 +153,116 @@ class GeneratedProtocol(Protocol):
     def output(self, state: Any, board: Transcript) -> int:
         rng = derive_rng(self._spec.seed, "out", board.bit_string())
         return rng.randrange(2)
+
+
+class GeneratedCoordinatorProtocol(MediumProtocol):
+    """A seeded random protocol on the coordinator medium, view-local by
+    construction.
+
+    The coordinator-model half of the fuzz harness (the
+    ``topology-discipline`` oracle).  ``k`` players hold bits; the
+    schedule is fixed by the message count: for each player ``i`` in
+    order, the hub (node ``k``) sends a 1-bit weighted coin on player
+    ``i``'s private link, then player ``i`` replies with a word from its
+    own prefix code.  Every law is derived by hashing the case seed with
+    the *speaker's own view*:
+
+    * the hub sees every link, so its coin is keyed on the full
+      transcript bit string;
+    * player ``i`` sees only its own link, so its reply law is keyed on
+      the bits carried by that link alone (plus its input) — keying on
+      anything more is exactly the ``view-leak`` defect
+      :func:`repro.check.mutations.wrap_topology_bug` plants.
+
+    The hub's early coins inject traffic that later speakers cannot see,
+    so a leaked law *provably* differs across global transcripts that
+    share the speaker's view — which is what makes the planted bug
+    detectable by :func:`repro.topology.validate.validate_topology`.
+    Player codes have >= 2 words and every law has full support, keeping
+    the protocol tree rich; per (speaker, view) the supported words stay
+    inside one fixed code, so prefix-freeness holds by construction.
+    """
+
+    def __init__(self, seed: int, num_players: int) -> None:
+        if num_players < 2:
+            raise ValueError(f"need at least two players, got {num_players}")
+        super().__init__(num_players)
+        self._seed = seed
+        code_rng = derive_rng(seed, "codes")
+        self._codes = tuple(
+            random_prefix_code(code_rng, code_rng.randint(2, 3))
+            for _ in range(num_players)
+        )
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def player_code(self, player: int) -> Tuple[str, ...]:
+        return self._codes[player]
+
+    # ------------------------------------------------------------------
+    # Transcript-state folding: the message count.
+    # ------------------------------------------------------------------
+    def initial_state(self) -> int:
+        return 0
+
+    def advance_state(self, state: Any, message: LinkMessage) -> int:
+        return state + 1
+
+    # ------------------------------------------------------------------
+    # Protocol logic.
+    # ------------------------------------------------------------------
+    def next_edge(
+        self, state: Any, transcript: LinkTranscript
+    ) -> Optional[Tuple[int, Any]]:
+        k = self.num_players
+        if state >= 2 * k:
+            return None
+        target = state // 2
+        if state % 2 == 0:
+            return (k, Link(target, k))  # hub polls player `target`
+        return (target, Link(target, k))  # player `target` replies
+
+    def _own_view_bits(self, transcript: LinkTranscript, node: int) -> str:
+        """The concatenated bits on ``node``'s own link — all a player
+        can see in the coordinator model."""
+        own = Link(node, self.num_players)
+        return "".join(m.bits for m in transcript if m.link == own)
+
+    def message_distribution(
+        self,
+        state: Any,
+        speaker: int,
+        speaker_input: Any,
+        transcript: LinkTranscript,
+    ) -> DiscreteDistribution:
+        k = self.num_players
+        if speaker == k:
+            # The hub's coin, keyed on its full view (it reads all links).
+            rng = derive_rng(
+                self._seed, "hub", state, transcript.bit_string()
+            )
+            p_one = 0.1 + 0.8 * rng.random()
+            return DiscreteDistribution({"1": p_one, "0": 1.0 - p_one})
+        code = self._codes[speaker]
+        rng = derive_rng(
+            self._seed,
+            "ply",
+            speaker,
+            speaker_input,
+            self._own_view_bits(transcript, speaker),
+        )
+        weights = {word: rng.random() + 0.05 for word in code}
+        return DiscreteDistribution(weights, normalize=True)
+
+    def output(self, state: Any, transcript: LinkTranscript) -> int:
+        rng = derive_rng(self._seed, "out", transcript.bit_string())
+        return rng.randrange(2)
+
+    def input_tuples(self) -> List[Tuple[int, ...]]:
+        """Every binary input tuple — the oracle's exhaustive family."""
+        return list(itertools.product((0, 1), repeat=self.num_players))
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,7 @@ __all__ = [
     "BYZANTINE_BUGS",
     "STORE_BUGS",
     "FABRIC_BUGS",
+    "TOPOLOGY_BUGS",
     "store_serve",
     "fabric_schedule_reference",
     "networked_reference",
@@ -60,6 +61,8 @@ __all__ = [
     "BrokenPrefixProtocol",
     "ImpureStateProtocol",
     "wrap_discipline_bug",
+    "wrap_topology_bug",
+    "topology_run_reference",
 ]
 
 
@@ -1221,3 +1224,156 @@ def fabric_schedule_reference(
         "requeues": counters["requeues"],
         "exhausted": exhausted,
     }
+
+
+# ----------------------------------------------------------------------
+# 11. Topology discipline (for repro.topology).
+# ----------------------------------------------------------------------
+TOPOLOGY_BUGS: Tuple[str, ...] = ("view-leak", "wrong-link-charge")
+
+
+class _ViewLeakProtocol:
+    """Delegates to a coordinator-medium protocol but keys every
+    *player* message law on the **full** transcript bits — traffic on
+    links the player cannot read.
+
+    This is the canonical view-locality defect: the law still has the
+    same support (prefix-freeness survives, the protocol runs fine), but
+    its probabilities now vary across global transcripts that look
+    identical from the speaker's seat.  The hub's early coins to other
+    players guarantee such same-view pairs exist, so
+    :func:`repro.topology.validate.validate_topology` must report a
+    view-locality violation.
+    """
+
+    def __init__(self, base: Any) -> None:
+        self._base = base
+
+    @property
+    def num_players(self) -> int:
+        return self._base.num_players
+
+    def initial_state(self) -> Any:
+        return self._base.initial_state()
+
+    def advance_state(self, state: Any, message: Any) -> Any:
+        return self._base.advance_state(state, message)
+
+    def next_edge(self, state: Any, transcript: Any) -> Any:
+        return self._base.next_edge(state, transcript)
+
+    def output(self, state: Any, transcript: Any) -> Any:
+        return self._base.output(state, transcript)
+
+    def validate_inputs(self, inputs: Sequence[Any]) -> None:
+        self._base.validate_inputs(inputs)
+
+    def replay_state(self, transcript: Any) -> Any:
+        state = self.initial_state()
+        for message in transcript:
+            state = self.advance_state(state, message)
+        return state
+
+    def message_distribution(
+        self, state: Any, speaker: int, speaker_input: Any, transcript: Any
+    ) -> DiscreteDistribution:
+        from .generator import derive_rng
+
+        dist = self._base.message_distribution(
+            state, speaker, speaker_input, transcript
+        )
+        if speaker >= self._base.num_players or len(dist) < 2:
+            return dist
+        # Reweight by coins derived from the *global* transcript — the
+        # leak.  Support is unchanged, so only locality breaks.
+        leak = derive_rng("view-leak", speaker, transcript.bit_string())
+        weights = {
+            word: p * (0.25 + leak.random()) for word, p in dist.items()
+        }
+        return DiscreteDistribution(weights, normalize=True)
+
+
+def wrap_topology_bug(base: Any, bug: str) -> Any:
+    """The mutant protocol for a topology-discipline planted bug.
+
+    Only ``"view-leak"`` mutates the protocol itself;
+    ``"wrong-link-charge"`` is an accounting defect of the reference
+    runner (:func:`topology_run_reference`), so the protocol passes
+    through unchanged.
+    """
+    _check_bug(bug, TOPOLOGY_BUGS)
+    if bug == "view-leak":
+        return _ViewLeakProtocol(base)
+    return base
+
+
+def topology_run_reference(
+    protocol: Any,
+    medium: Any,
+    inputs: Sequence[Any],
+    seed: int,
+    bug: Optional[str] = None,
+) -> Dict[str, Any]:
+    """An independent mini-runtime for medium protocols.
+
+    Re-derives one execution literally — schedule, point-mass short
+    circuit, an inline cumulative-walk sampler over ``dist.items()``
+    (the same discipline as :meth:`~repro.information.distribution.
+    DiscreteDistribution.sample`, re-implemented here so a sampling bug
+    in the production runtime cannot hide), and per-link charging — and
+    returns plain data for comparison against
+    :func:`repro.topology.runtime.run_on_medium` under the same seed.
+
+    Planted bug ``"wrong-link-charge"`` charges every message to the
+    *previous* message's link (the first to its own), the classic
+    stale-variable accounting slip; totals still agree, but the per-link
+    breakdown shifts wherever consecutive messages change links.
+    """
+    _check_bug(bug, TOPOLOGY_BUGS)
+    protocol.validate_inputs(inputs)
+    k = protocol.num_players
+    rng = random.Random(seed)
+    state = protocol.initial_state()
+    transcript_rows: List[Tuple[int, Any, str]] = []
+    bits_total = 0
+    bits_by_link: Dict[Any, int] = {}
+    previous_link: Any = None
+    from ..topology.medium import LinkMessage, LinkTranscript
+
+    transcript = LinkTranscript()
+    for _ in range(100_000):
+        edge = protocol.next_edge(state, transcript)
+        if edge is None:
+            return {
+                "transcript": tuple(transcript_rows),
+                "output": protocol.output(state, transcript),
+                "bits_communicated": bits_total,
+                "bits_by_link": bits_by_link,
+            }
+        speaker, link = edge
+        speaker_input = inputs[speaker] if speaker < k else None
+        dist = protocol.message_distribution(
+            state, speaker, speaker_input, transcript
+        )
+        if len(dist) == 1:
+            (word,) = dist.support()
+        else:
+            u = rng.random()
+            cumulative = 0.0
+            word = None
+            for candidate, p in dist.items():
+                cumulative += p
+                word = candidate
+                if u < cumulative:
+                    break
+        charged_link = link
+        if bug == "wrong-link-charge" and previous_link is not None:
+            charged_link = previous_link
+        bits_total += len(word)
+        bits_by_link[charged_link] = bits_by_link.get(charged_link, 0) + len(word)
+        previous_link = link
+        transcript_rows.append((speaker, link, word))
+        message = LinkMessage(speaker=speaker, link=link, bits=word)
+        state = protocol.advance_state(state, message)
+        transcript = transcript.extend(message)
+    raise ProtocolViolation("reference runtime did not halt")

@@ -55,6 +55,14 @@ GeneratedCase`) and checks one cross-layer agreement property:
                       seeded event script (asks, completions, failures,
                       expiries, worker deaths) to *exactly* the same
                       dispatch log, completion set, and counters.
+``topology-discipline`` a derived coordinator-medium protocol
+                      (:class:`repro.check.generator.
+                      GeneratedCoordinatorProtocol`) is certified
+                      view-local by ``repro.topology.validate`` and
+                      every execution's transcript, output, and
+                      *per-link* bit accounting matches an independent
+                      mini-runtime (:func:`repro.check.mutations.
+                      topology_run_reference`) exactly.
 ==================== ==================================================
 
 Every oracle carries a ``bugs`` tuple naming the planted defects of
@@ -97,6 +105,7 @@ __all__ = [
     "ByzantineBlackboardOracle",
     "StoreRoundtripOracle",
     "FabricSchedulerOracle",
+    "TopologyDisciplineOracle",
     "ALL_ORACLES",
     "oracle_by_name",
 ]
@@ -883,6 +892,99 @@ class FabricSchedulerOracle(Oracle):
         )
 
 
+class TopologyDisciplineOracle(Oracle):
+    """Coordinator-medium discipline: view-locality certified, and the
+    medium runtime's per-link accounting re-derived independently.
+
+    Like ``cic-closed-form`` and ``byzantine-blackboard``, this oracle
+    derives its own protocol from the case — a
+    :class:`~repro.check.generator.GeneratedCoordinatorProtocol` at
+    ``k ∈ {2, 3}`` (alternating by case index), whose every law is
+    keyed on the speaker's own view by construction.  Two legs:
+
+    1. *Locality audit.*  :func:`repro.topology.validate.
+       validate_topology` over the full binary input family must
+       certify the protocol on :data:`~repro.topology.medium.
+       COORDINATOR` — scheduler locality, view locality, per-view
+       prefix-freeness, replay consistency, edge validity.  The
+       ``view-leak`` planted bug (:func:`repro.check.mutations.
+       wrap_topology_bug`) keys player laws on invisible traffic and
+       must be rejected here.
+    2. *Runtime vs reference.*  Every input tuple is executed by the
+       production :func:`repro.topology.runtime.run_on_medium` and by
+       the independent mini-runtime :func:`repro.check.mutations.
+       topology_run_reference` under the same seed; transcripts,
+       outputs, total bits, and the per-link breakdown must agree
+       exactly.  The ``wrong-link-charge`` planted bug shifts the
+       reference's charge accounting by one message and must surface
+       as a ``bits_by_link`` mismatch.
+    """
+
+    name = "topology-discipline"
+    bugs = mutations.TOPOLOGY_BUGS
+
+    def check(self, case: GeneratedCase, bug: Optional[str] = None) -> OracleResult:
+        from ..topology.medium import COORDINATOR
+        from ..topology.runtime import run_on_medium
+        from ..topology.validate import validate_topology
+        from .generator import GeneratedCoordinatorProtocol
+
+        index = case.index if case.index >= 0 else case.spec.seed
+        k = 2 + index % 2
+        protocol = GeneratedCoordinatorProtocol(case.spec.seed, k)
+        subject = (
+            mutations.wrap_topology_bug(protocol, bug)
+            if bug is not None
+            else protocol
+        )
+        family = protocol.input_tuples()
+
+        report = validate_topology(subject, COORDINATOR, family)
+        if not report.ok:
+            return self._fail(
+                "validate_topology rejected the instance: "
+                + "; ".join(report.problems[:3])
+            )
+
+        seed = case.spec.seed
+        for inputs in family:
+            production = run_on_medium(
+                protocol, COORDINATOR, inputs, rng=random.Random(seed)
+            )
+            reference = mutations.topology_run_reference(
+                protocol, COORDINATOR, inputs, seed, bug=bug
+            )
+            produced_rows = tuple(
+                (m.speaker, m.link, m.bits) for m in production.transcript
+            )
+            if produced_rows != reference["transcript"]:
+                return self._fail(
+                    f"transcript diverged on {inputs}: {produced_rows!r} "
+                    f"vs {reference['transcript']!r}"
+                )
+            if production.output != reference["output"]:
+                return self._fail(
+                    f"output diverged on {inputs}: {production.output!r} "
+                    f"vs {reference['output']!r}"
+                )
+            if production.bits_communicated != reference["bits_communicated"]:
+                return self._fail(
+                    f"total bits diverged on {inputs}: "
+                    f"{production.bits_communicated} vs "
+                    f"{reference['bits_communicated']}"
+                )
+            if production.bits_by_link != reference["bits_by_link"]:
+                return self._fail(
+                    f"per-link bits diverged on {inputs}: "
+                    f"{production.bits_by_link!r} vs "
+                    f"{reference['bits_by_link']!r}"
+                )
+        return self._ok(
+            f"k={k}: {report.transcripts_checked} transcripts certified "
+            f"view-local; {len(family)} runs match the reference per link"
+        )
+
+
 #: The full inventory, in the order the harness runs them (cheap and
 #: structural first so a malformed case fails fast).
 ALL_ORACLES: Tuple[Oracle, ...] = (
@@ -896,6 +998,7 @@ ALL_ORACLES: Tuple[Oracle, ...] = (
     ByzantineBlackboardOracle(),
     StoreRoundtripOracle(),
     FabricSchedulerOracle(),
+    TopologyDisciplineOracle(),
     MonteCarloOracle(),
 )
 

@@ -17,6 +17,14 @@ All functions take an input distribution with *enumerable support* and use
 :mod:`repro.core.tree` for exact protocol-tree enumeration.  The identity
 :math:`IC_\\mu(\\Pi) \\le H(\\Pi) \\le |\\Pi|` (stated after Definition 5)
 is asserted by the test suite using these same functions.
+
+The information-cost entry points accept a ``medium=`` parameter
+(:mod:`repro.topology`): ``None`` is the blackboard below, any other
+medium routes the same functional through the medium-generalized
+enumeration with identical float discipline — the broadcast medium
+reproduces the legacy values exactly, and the per-*view* generalization
+of the per-player decompositions lives in
+:func:`repro.topology.analysis.per_view_information`.
 """
 
 from __future__ import annotations
@@ -52,21 +60,29 @@ __all__ = [
 
 
 def transcript_joint(
-    protocol: Protocol, input_dist: DiscreteDistribution
+    protocol: Protocol,
+    input_dist: DiscreteDistribution,
+    *,
+    medium: Optional[Any] = None,
 ) -> JointDistribution:
     """The exact joint law of ``(inputs, transcript)``.
 
     ``input_dist`` is over input tuples (one entry per player).  The
-    result has named components ``inputs`` and ``transcript``.
+    result has named components ``inputs`` and ``transcript``.  With a
+    non-``None`` ``medium`` the transcript component is a
+    :class:`~repro.topology.medium.LinkTranscript`.
     """
     scenarios = input_dist.map(lambda x: (x,))
     return joint_transcript_distribution(
-        protocol, scenarios, names=("inputs",)
+        protocol, scenarios, names=("inputs",), medium=medium
     )
 
 
 def conditional_transcript_joint(
-    protocol: Protocol, mu: DiscreteDistribution
+    protocol: Protocol,
+    mu: DiscreteDistribution,
+    *,
+    medium: Optional[Any] = None,
 ) -> JointDistribution:
     """The exact joint law of ``(inputs, aux, transcript)``.
 
@@ -81,24 +97,35 @@ def conditional_transcript_joint(
                 f"{outcome!r}"
             )
     return joint_transcript_distribution(
-        protocol, mu, names=("inputs", "aux")
+        protocol, mu, names=("inputs", "aux"), medium=medium
     )
 
 
 def external_information_cost(
-    protocol: Protocol, input_dist: DiscreteDistribution
+    protocol: Protocol,
+    input_dist: DiscreteDistribution,
+    *,
+    medium: Optional[Any] = None,
 ) -> float:
-    """External information cost :math:`I(\\Pi; X)` in bits (Definition 5)."""
-    joint = transcript_joint(protocol, input_dist)
+    """External information cost :math:`I(\\Pi; X)` in bits (Definition 5).
+
+    ``medium`` generalizes the transcript to an arbitrary communication
+    medium; the broadcast medium reproduces the blackboard value
+    exactly.
+    """
+    joint = transcript_joint(protocol, input_dist, medium=medium)
     return mutual_information(joint, "transcript", "inputs")
 
 
 def conditional_information_cost(
-    protocol: Protocol, mu: DiscreteDistribution
+    protocol: Protocol,
+    mu: DiscreteDistribution,
+    *,
+    medium: Optional[Any] = None,
 ) -> float:
     """Conditional information cost :math:`I(\\Pi; X \\mid D)` in bits
     (Definition 6), for ``mu`` over ``(inputs, aux)`` pairs."""
-    joint = conditional_transcript_joint(protocol, mu)
+    joint = conditional_transcript_joint(protocol, mu, medium=medium)
     return conditional_mutual_information(joint, "transcript", "inputs", "aux")
 
 
@@ -131,7 +158,10 @@ def internal_information_cost(
 
 
 def transcript_entropy(
-    protocol: Protocol, input_dist: DiscreteDistribution
+    protocol: Protocol,
+    input_dist: DiscreteDistribution,
+    *,
+    medium: Optional[Any] = None,
 ) -> float:
     """The entropy :math:`H(\\Pi)` of the transcript in bits.
 
@@ -139,7 +169,7 @@ def transcript_entropy(
     that the sequential AND protocol has :math:`IC = O(\\log k)` bounds
     exactly this quantity.
     """
-    joint = transcript_joint(protocol, input_dist)
+    joint = transcript_joint(protocol, input_dist, medium=medium)
     return entropy(joint.marginal("transcript"))
 
 
@@ -193,14 +223,19 @@ def worst_case_error(
 
 
 def expected_communication(
-    protocol: Protocol, input_dist: DiscreteDistribution
+    protocol: Protocol,
+    input_dist: DiscreteDistribution,
+    *,
+    medium: Optional[Any] = None,
 ) -> float:
     """The exact expected number of bits written, under ``input_dist`` and
     the protocol's private coins."""
     total = 0.0
     memo = MessageDistributionMemo()
     for inputs, p_inputs in input_dist.items():
-        transcripts = transcript_distribution(protocol, inputs, memo=memo)
+        transcripts = transcript_distribution(
+            protocol, inputs, memo=memo, medium=medium
+        )
         total += p_inputs * sum(
             p * transcript.bits_written for transcript, p in transcripts.items()
         )

@@ -40,6 +40,17 @@ Model discipline enforced/auditable here:
   form a prefix-free set *across all inputs* so that transcripts remain
   self-delimiting; :func:`check_prefix_free` verifies this and the test
   suite applies it to every shipped protocol.
+
+Position in the media hierarchy: the blackboard is the *broadcast*
+instance of the pluggable communication media of :mod:`repro.topology`
+— a single shared link every node reads and writes, whose scheduler
+sees the full board.  This module stays the canonical, optimized
+implementation of that instance (every broadcast experiment and the
+vectorized kernels run through it); :class:`~repro.topology.protocol.
+BroadcastAdapter` lifts any :class:`Protocol` into the generalized
+:class:`~repro.topology.protocol.MediumProtocol` interface
+bit-identically, and the coordinator / graph media generalize the model
+to restricted visibility (per-node *views*).  See docs/topology.md.
 """
 
 from __future__ import annotations

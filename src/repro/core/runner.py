@@ -66,7 +66,8 @@ def run_protocol(
     rng: Optional[random.Random] = None,
     max_messages: int = DEFAULT_MAX_MESSAGES,
     tracer: Optional[Tracer] = None,
-) -> ProtocolRun:
+    medium: Optional[Any] = None,
+) -> Any:
     """Execute ``protocol`` once on ``inputs``.
 
     Parameters
@@ -89,13 +90,36 @@ def run_protocol(
         (a no-op unless one was installed via ``repro.obs``).  Tracing
         never touches ``rng``, so traced and untraced executions are
         identical.
+    medium:
+        ``None`` (the default) runs the blackboard engine below and
+        returns a :class:`ProtocolRun`.  A :class:`~repro.topology.
+        medium.Medium` switches to the medium-generalized runtime and
+        returns a :class:`~repro.topology.runtime.MediumRun` instead —
+        a legacy protocol is adapted automatically when the medium is
+        broadcast (bit-identical: same transcript, output, bits, and
+        rng consumption, pinned by the topology regression tests), and
+        rejected on any other medium.
 
     Returns
     -------
     ProtocolRun
         The transcript, output, realized communication in bits, and the
-        number of messages (rounds of speech).
+        number of messages (rounds of speech).  With a non-``None``
+        ``medium``, a :class:`~repro.topology.runtime.MediumRun` with
+        per-link accounting.
     """
+    if medium is not None:
+        from ..topology.protocol import as_medium_protocol
+        from ..topology.runtime import run_on_medium
+
+        return run_on_medium(
+            as_medium_protocol(protocol, medium),
+            medium,
+            inputs,
+            rng=rng,
+            max_messages=max_messages,
+            tracer=tracer,
+        )
     if tracer is None:
         tracer = get_tracer()
     if tracer:

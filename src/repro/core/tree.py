@@ -164,6 +164,7 @@ def transcript_distribution(
     max_messages: int = DEFAULT_MAX_MESSAGES,
     tracer: Optional[Tracer] = None,
     memo: Optional[MessageDistributionMemo] = None,
+    medium: Optional[Any] = None,
 ) -> DiscreteDistribution:
     """The exact law of the transcript ``Π(inputs)`` over private coins.
 
@@ -174,6 +175,14 @@ def transcript_distribution(
     ``memo`` optionally reuses ``message_distribution`` results across
     calls (see :class:`MessageDistributionMemo`); results are unchanged.
 
+    ``medium`` parameterizes the communication medium: ``None`` keeps
+    the blackboard walk below (distribution over
+    :class:`Transcript`); a :class:`~repro.topology.medium.Medium`
+    delegates to :func:`repro.topology.tree.
+    medium_transcript_distribution` (distribution over
+    :class:`~repro.topology.medium.LinkTranscript`), auto-adapting a
+    legacy protocol on the broadcast medium with identical floats.
+
     Observability: each call emits one ``tree_enumerated`` trace event
     summarizing the walk (nodes expanded, leaves, max depth) and feeds
     the ``tree_nodes_expanded`` / ``tree_leaves`` counters plus the
@@ -181,6 +190,18 @@ def transcript_distribution(
     deliberately not emitted — tree sizes are exponential and a trace
     must stay proportional to the number of *calls*, not nodes.
     """
+    if medium is not None:
+        from ..topology.protocol import as_medium_protocol
+        from ..topology.tree import medium_transcript_distribution
+
+        return medium_transcript_distribution(
+            as_medium_protocol(protocol, medium),
+            medium,
+            inputs,
+            max_messages=max_messages,
+            tracer=tracer,
+            memo=memo,
+        )
     if tracer is None:
         tracer = get_tracer()
     reg = REGISTRY if REGISTRY.enabled else None
@@ -259,6 +280,7 @@ def batched_joint_transcript_distribution(
     max_messages: int = DEFAULT_MAX_MESSAGES,
     tracer: Optional[Tracer] = None,
     memo: Optional[MessageDistributionMemo] = None,
+    medium: Optional[Any] = None,
 ) -> JointDistribution:
     """The exact joint law of ``(scenario components..., transcript)``,
     computed with one shared walk of the protocol tree.
@@ -285,12 +307,31 @@ def batched_joint_transcript_distribution(
         is appended automatically as ``"transcript"``.
     memo:
         Optional :class:`MessageDistributionMemo` shared across calls.
+    medium:
+        ``None`` keeps the blackboard walk; a :class:`~repro.topology.
+        medium.Medium` delegates to :func:`repro.topology.tree.
+        medium_joint_transcript_distribution` (transcript component is a
+        :class:`~repro.topology.medium.LinkTranscript`).
 
     Returns
     -------
     JointDistribution
         Over tuples ``scenario + (transcript,)``.
     """
+    if medium is not None:
+        from ..topology.protocol import as_medium_protocol
+        from ..topology.tree import medium_joint_transcript_distribution
+
+        return medium_joint_transcript_distribution(
+            as_medium_protocol(protocol, medium),
+            medium,
+            scenarios,
+            inputs_of,
+            names=names,
+            max_messages=max_messages,
+            tracer=tracer,
+            memo=memo,
+        )
     if inputs_of is None:
         inputs_of = lambda scenario: scenario[0]  # noqa: E731
     if tracer is None:
@@ -557,6 +598,7 @@ def joint_transcript_distribution(
     max_messages: int = DEFAULT_MAX_MESSAGES,
     tracer: Optional[Tracer] = None,
     memo: Optional[MessageDistributionMemo] = None,
+    medium: Optional[Any] = None,
 ) -> JointDistribution:
     """The exact joint law of ``(scenario components..., transcript)``.
 
@@ -573,6 +615,7 @@ def joint_transcript_distribution(
         max_messages=max_messages,
         tracer=tracer,
         memo=memo,
+        medium=medium,
     )
 
 

@@ -19,6 +19,7 @@ from . import (
     e13_optimal_frontier,
     e14_optimal_information,
     e15_promise,
+    e16_cross_model,
 )
 from .tables import ExperimentTable
 from .workloads import (
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = {
     "E13": e13_optimal_frontier.run,
     "E14": e14_optimal_information.run,
     "E15": e15_promise.run,
+    "E16": e16_cross_model.run,
 }
 
 __all__ = [

@@ -72,6 +72,18 @@ def _e14_external_cell(params: Dict[str, Any], seed: Optional[int]) -> Any:
     return _measure_external(params["k"])
 
 
+def _e16_cell(params: Dict[str, Any], seed: Optional[int]) -> Any:
+    from ..experiments.e16_cross_model import _measure_grid_point
+
+    return _measure_grid_point((params["n"], params["k"]))
+
+
+def _e16_info_cell(params: Dict[str, Any], seed: Optional[int]) -> Any:
+    from ..experiments.e16_cross_model import _measure_info_grid_point
+
+    return _measure_info_grid_point((params["n"], params["k"]))
+
+
 #: experiment id -> pure ``(params, seed) -> result`` cell function.
 #: Imports are deferred into the bodies: :mod:`repro.experiments`
 #: imports the fabric sweep entry point, so importing them here would
@@ -82,6 +94,8 @@ CELL_KERNELS: Dict[str, Callable[[Dict[str, Any], Optional[int]], Any]] = {
     "E4": _e4_cell,
     "E14": _e14_cell,
     "E14-external": _e14_external_cell,
+    "E16": _e16_cell,
+    "E16-info": _e16_info_cell,
 }
 
 
@@ -114,7 +128,7 @@ def compute_cell_payload(key: ResultKey) -> bytes:
 # ----------------------------------------------------------------------
 # Default sweep grids (what ``python -m repro.fabric sweep`` runs).
 # ----------------------------------------------------------------------
-SWEEPABLE_EXPERIMENTS = ("E1", "E2", "E4", "E14")
+SWEEPABLE_EXPERIMENTS = ("E1", "E2", "E4", "E14", "E16")
 
 
 def _keyed(
@@ -181,6 +195,19 @@ def sweep_keys(experiment: str, *, quick: bool = False) -> List[ResultKey]:
         ks = [k for k in DEFAULT_KS if k <= 8] if quick else list(DEFAULT_KS)
         keys = _keyed("E14", [{"k": k} for k in ks])
         keys.extend(_keyed("E14-external", [{"k": max(ks)}]))
+        return keys
+    if experiment == "E16":
+        from ..experiments.e16_cross_model import (
+            CLASSIC_GRID,
+            DEFAULT_GRID,
+            INFO_POINTS,
+        )
+
+        grid = CLASSIC_GRID if quick else DEFAULT_GRID
+        keys = _keyed("E16", [{"n": n, "k": k} for n, k in grid])
+        keys.extend(
+            _keyed("E16-info", [{"n": n, "k": k} for n, k in INFO_POINTS])
+        )
         return keys
     raise ValueError(
         f"experiment {experiment!r} has no fabric sweep grid "

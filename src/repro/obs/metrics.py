@@ -34,6 +34,12 @@ Metric naming used by the instrumented subsystems:
 ``tree_memo_misses``                  batched-walk memo misses, by protocol
 ``tree_depth`` (histogram)            enumeration depth per call
 ``tree_support`` (histogram)          transcript-support size per call
+``topology_runs``                     medium-runtime executions
+                                      (``run_on_medium``), by protocol
+                                      and medium
+``topology_link_bits``                charged link bits, by medium
+``topology_view_rebuilds``            per-node view projections computed,
+                                      by medium
 ``sampler_rounds``                    Lemma 7 rounds simulated, by path
 ``sampler_darts_thrown``              darts examined (naive path)
 ``sampler_darts_rejected``            darts rejected before acceptance

@@ -55,6 +55,8 @@ CODE_VERSIONS: Dict[str, str] = {
     "E4": "e4-lemma6-cliff/1",
     "E14": "e14-rectangle-dp/1",
     "E14-external": "e14-external-ic/1",
+    "E16": "e16-cross-model/1",
+    "E16-info": "e16-per-view-info/1",
 }
 
 

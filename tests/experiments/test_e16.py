@@ -1,0 +1,106 @@
+"""E16 cross-model disjointness: table shape, the pinned growth-rate
+separation, and store cold/warm byte-identity."""
+
+import pytest
+
+from repro.experiments import e16_cross_model as e16
+from repro.store.store import ResultStore
+
+#: A reduced grid that still spans several k at fixed n = 256, so the
+#: slope note (and its pins below) exercise the real code path.
+SLOPE_GRID = [(256, 4), (256, 8), (256, 16), (256, 32)]
+INFO_POINT = ((2, 2),)
+
+
+class TestTableShape:
+    def test_reduced_run(self):
+        table = e16.run(grid=[(64, 4), (256, 8)], info_points=INFO_POINT)
+        assert len(table.rows) == 2
+        for n, k, opt, relay, trivial, opt_norm, relay_norm, gap in (
+            table.rows
+        ):
+            assert relay == n * (2 * k - 1)
+            assert trivial == n * k
+            # The relay's per-link price: (2k-1)/k, bounded below 2.
+            assert 1.0 < relay_norm < 2.0
+            # The broadcast optimum stays near its predicted constant.
+            assert opt_norm < 2.0
+            assert gap == relay / opt
+
+    def test_quick_swaps_in_the_classic_grid(self):
+        table = e16.run(quick=True)
+        assert len(table.rows) == len(e16.CLASSIC_GRID)
+
+    def test_explicit_grid_wins_over_quick(self):
+        table = e16.run(
+            grid=[(64, 4)], quick=True, info_points=INFO_POINT
+        )
+        assert len(table.rows) == 1
+
+
+class TestGrowthRates:
+    def test_slope_separation_pinned(self):
+        """The paper-claim contrast, as measured numbers: coordinator
+        bits grow with slope ≈ 1 in k (Θ(nk)); broadcast bits well
+        below (Θ(n log k + k))."""
+        table = e16.run(grid=SLOPE_GRID, info_points=INFO_POINT)
+        grid = [(row[0], row[1]) for row in table.rows]
+        measurements = [(row[2], row[3], row[4]) for row in table.rows]
+        n, broadcast_slope, coordinator_slope = e16.growth_slopes(
+            grid, measurements
+        )
+        assert n == 256
+        assert coordinator_slope > 0.9
+        assert broadcast_slope < 0.6
+        assert coordinator_slope - broadcast_slope > 0.4
+
+    def test_slope_note_rendered(self):
+        table = e16.run(grid=SLOPE_GRID, info_points=INFO_POINT)
+        assert any("log-log slope" in note for note in table.notes)
+
+    def test_no_slope_note_without_a_k_sweep(self):
+        table = e16.run(
+            grid=[(64, 4), (256, 8)], info_points=INFO_POINT
+        )
+        assert e16.growth_slopes(
+            [(64, 4), (256, 8)], [(1, 1, 1), (1, 1, 1)]
+        ) is None
+        assert not any("log-log slope" in note for note in table.notes)
+
+
+class TestInfoStage:
+    def test_per_view_notes_present(self):
+        table = e16.run(grid=[(64, 4)], info_points=((2, 2), (3, 2)))
+        info_notes = [n for n in table.notes if "per-view info" in n]
+        assert len(info_notes) == 2
+
+    def test_info_cell_values(self):
+        cell = e16.measure_info_point(2, 2)
+        assert cell["broadcast"]["external_ic"] == pytest.approx(4.0)
+        assert cell["coordinator"]["external_ic"] == pytest.approx(3.0)
+        hub = cell["coordinator"]["per_view"]["2"]
+        assert hub["external"] == pytest.approx(3.0)
+
+
+class TestStoreIdentity:
+    def test_cold_and_warm_tables_byte_identical(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        grid = [(64, 4), (256, 8)]
+        cold = e16.run(grid=grid, info_points=INFO_POINT, store=store)
+        warm = e16.run(grid=grid, info_points=INFO_POINT, store=store)
+        fresh = e16.run(grid=grid, info_points=INFO_POINT)
+        assert cold.render() == warm.render() == fresh.render()
+
+    def test_fabric_cells_match_serial(self):
+        from repro.fabric.cells import compute_cell, sweep_keys
+
+        keys = sweep_keys("E16", quick=True)
+        assert len(keys) == len(e16.CLASSIC_GRID) + len(e16.INFO_POINTS)
+        cost_key = keys[0]
+        assert compute_cell(cost_key) == e16.measure_point(
+            cost_key.params["n"], cost_key.params["k"]
+        )
+        info_key = keys[-1]
+        assert compute_cell(info_key) == e16.measure_info_point(
+            info_key.params["n"], info_key.params["k"]
+        )

@@ -92,7 +92,7 @@ class TestReducedRuns:
 
     def test_registry_complete(self):
         assert set(ALL_EXPERIMENTS) == {
-            f"E{i}" for i in range(1, 16)
+            f"E{i}" for i in range(1, 17)
         }
 
 

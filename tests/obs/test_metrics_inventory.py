@@ -42,7 +42,14 @@ def test_scan_finds_known_emissions():
     emitted = _emitted_metrics()
     # Sanity-check the scanner against a few metrics that exist since
     # the first instrumented subsystems.
-    for name in ("bits_written", "net_frames_sent", "store_hits"):
+    for name in (
+        "bits_written",
+        "net_frames_sent",
+        "store_hits",
+        "topology_runs",
+        "topology_link_bits",
+        "topology_view_rebuilds",
+    ):
         assert name in emitted
 
 
